@@ -1,0 +1,32 @@
+"""Ablation B — effect of the number of LOF neighbours K.
+
+The paper uses K = 20.  K controls how local the density estimate is: tiny K
+makes the LOF score noisy, huge K smears the reference clusters together.
+The run itself is reused; only learning + monitoring are repeated per K.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_sweep
+from repro.experiments.sweep import k_sweep
+
+K_VALUES = [5, 20, 40]
+
+
+def test_k_neighbours_ablation(paper_experiment, paper_config, benchmark):
+    trace = paper_experiment.trace
+
+    def run_sweep():
+        return k_sweep(paper_config, K_VALUES, trace=trace)
+
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_sweep("Ablation B — LOF neighbours K", points))
+
+    assert [point.value for point in points] == K_VALUES
+    by_k = {point.value: point for point in points}
+    # the paper's K=20 operating point is a usable one
+    assert by_k[20].precision > 0.6
+    assert by_k[20].recall > 0.6
+    assert by_k[20].f1 >= max(point.f1 for point in points) - 0.25

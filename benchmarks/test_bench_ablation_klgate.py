@@ -1,0 +1,44 @@
+"""Ablation C — the Kullback-Leibler similarity gate.
+
+The gate serves two purposes in the paper: it avoids a LOF computation for
+windows that look like the recent past, and it lets the running past pmf
+track slow drifts.  The ablation compares several gate thresholds with the
+gate disabled entirely (LOF on every window) on the same simulated run.
+
+Expected shape: disabling the gate maximises the LOF-computation rate (cost)
+without a commensurate quality gain; overly large thresholds start swallowing
+anomalous windows (recall drops).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_sweep
+from repro.experiments.sweep import kl_gate_sweep
+
+KL_THRESHOLDS = [0.02, 0.05, 0.3]
+
+
+def test_kl_gate_ablation(paper_experiment, paper_config, benchmark):
+    trace = paper_experiment.trace
+
+    def run_sweep():
+        return kl_gate_sweep(
+            paper_config, KL_THRESHOLDS, include_disabled_gate=True, trace=trace
+        )
+
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_sweep("Ablation C — KL similarity gate", points))
+
+    gated = points[:-1]
+    ungated = points[-1]
+    assert ungated.parameter == "kl_gate_disabled"
+    # disabling the gate can only increase the fraction of windows that need
+    # a LOF computation
+    assert ungated.lof_computation_rate >= max(p.lof_computation_rate for p in gated) - 1e-9
+    # larger thresholds never increase the LOF-computation rate
+    rates = [point.lof_computation_rate for point in gated]
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+    # the paper's operating point (a permissive gate) keeps detection quality
+    assert max(point.f1 for point in gated) > 0.6

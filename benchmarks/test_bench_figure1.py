@@ -1,0 +1,37 @@
+"""Figure 1 — precision and recall of anomaly detection vs the LOF threshold.
+
+The paper's only figure sweeps the LOF threshold alpha from 1 to 3 and plots
+precision and recall of the window labelling.  The LOF score of a window does
+not depend on alpha, so the sweep is evaluated from a single monitoring pass;
+the benchmark measures that evaluation and prints the regenerated figure
+(ASCII plot + table).
+
+Expected shape (the paper's testbed differs from the simulated substrate, so
+absolute values are not expected to match): precision increases with alpha,
+recall decreases, and both sit in the 0.7-0.9 band around alpha ~ 1.2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_alpha_sweep
+from repro.experiments.sweep import alpha_sweep
+
+#: LOF thresholds swept in the paper's Figure 1 (x axis from 1 to 3).
+FIGURE1_ALPHAS = [1.0, 1.05, 1.1, 1.15, 1.2, 1.3, 1.4, 1.5, 1.75, 2.0, 2.5, 3.0]
+
+
+def test_figure1_precision_recall_vs_alpha(paper_experiment, benchmark):
+    points = benchmark(alpha_sweep, paper_experiment, FIGURE1_ALPHAS)
+
+    print()
+    print(render_alpha_sweep(points))
+
+    # Shape checks: recall is non-increasing with alpha, precision improves
+    # from its alpha=1 value, and the paper's operating point (alpha ~ 1.2)
+    # has both metrics at a usable level.
+    recalls = [point.recall for point in points]
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert points[0].precision <= max(point.precision for point in points)
+    at_1_2 = next(point for point in points if abs(point.alpha - 1.2) < 1e-9)
+    assert at_1_2.precision > 0.6
+    assert at_1_2.recall > 0.6

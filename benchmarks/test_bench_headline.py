@@ -1,0 +1,38 @@
+"""Headline numbers of Section III — precision, recall and trace-size reduction
+at alpha = 1.2.
+
+The paper reports: precision 78.9 %, recall 76.6 %, recorded trace 418 MB vs
+5.9 GB full (a ~14x reduction).  The benchmark evaluates the same operating
+point on the simulated run and prints the side-by-side comparison.  The shape
+that must hold: both quality metrics in a usable band (>> a random sampler at
+the same budget) and an order-of-magnitude reduction in recorded bytes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_headline
+
+
+def test_headline_operating_point(paper_experiment, benchmark):
+    metrics = benchmark(paper_experiment.metrics_at, 1.2)
+
+    summary = dict(paper_experiment.summary())
+    summary.update(
+        {
+            "alpha": 1.2,
+            "precision": metrics.precision,
+            "recall": metrics.recall,
+            "recorded_bytes": metrics.recorded_bytes,
+            "total_bytes": metrics.total_bytes,
+            "reduction_factor": metrics.reduction_factor,
+        }
+    )
+    print()
+    print(render_headline(summary))
+
+    assert metrics.precision > 0.6
+    assert metrics.recall > 0.6
+    # order-of-magnitude-ish reduction: the paper reports 14x on a 6h17m run
+    # whose perturbations cover ~11% of the time; the scaled run keeps the
+    # same schedule, so anything clearly above ~5x reproduces the claim.
+    assert metrics.reduction_factor > 5.0

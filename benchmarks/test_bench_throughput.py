@@ -1,0 +1,80 @@
+"""Online monitoring cost — can the detector keep up with the trace stream?
+
+The approach only makes sense if analysing a window costs (much) less than
+the window's wall-clock duration (40 ms).  This micro-benchmark measures the
+per-window processing cost of the full detector (pmf + KL gate + LOF when
+needed) on a synthetic stream, and checks the real-time margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.detector import OnlineAnomalyDetector
+from repro.analysis.model import ReferenceModel
+from repro.config import DetectorConfig
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+
+#: Event mix of the synthetic stream used for the throughput measurement.
+MIX = {
+    "mb_row_decode": 10.0,
+    "frame_decode_start": 1.0,
+    "frame_decode_end": 1.0,
+    "frame_display": 1.0,
+    "vsync": 1.0,
+    "audio_decode": 2.0,
+    "buffer_push": 1.0,
+    "buffer_pop": 1.0,
+    "demux_packet": 1.0,
+    "syscall_enter": 1.0,
+    "syscall_exit": 1.0,
+}
+
+WINDOW_DURATION_US = 40_000
+
+
+@pytest.fixture(scope="module")
+def detector_and_windows():
+    registry = EventTypeRegistry.with_default_types()
+    reference_generator = SyntheticTraceGenerator(MIX, rate_per_s=2_000, seed=1)
+    reference = list(
+        windows_by_duration(reference_generator.events(60.0), WINDOW_DURATION_US)
+    )
+    model = ReferenceModel(k_neighbours=20).learn(reference, registry)
+    detector = OnlineAnomalyDetector(
+        model, DetectorConfig(k_neighbours=20, lof_threshold=1.2), registry
+    )
+    live_generator = SyntheticTraceGenerator(MIX, rate_per_s=2_000, seed=2)
+    windows = list(windows_by_duration(live_generator.events(20.0), WINDOW_DURATION_US))
+    return detector, windows
+
+
+def test_online_monitoring_throughput(detector_and_windows, benchmark):
+    import time
+
+    detector, windows = detector_and_windows
+
+    def process_all():
+        for window in windows:
+            detector.process(window)
+        return len(windows)
+
+    n_windows = benchmark(process_all)
+
+    # Independent wall-clock measurement for the real-time margin assertion
+    # (pytest-benchmark's own statistics are printed in its summary table).
+    start = time.perf_counter()
+    process_all()
+    elapsed = time.perf_counter() - start
+    per_window_s = elapsed / n_windows
+    real_time_margin = (WINDOW_DURATION_US / 1e6) / per_window_s
+    print()
+    print(
+        f"processed {n_windows} windows, {per_window_s * 1e6:.0f} us/window, "
+        f"real-time margin {real_time_margin:.0f}x"
+    )
+
+    # a pure-Python prototype still has to keep up with the 40 ms stream
+    assert real_time_margin > 1.0

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Curated reference database: learn once, monitor many endurance tests.
+
+The paper notes that "a curated database of reference traces can be
+constituted in order to skip the learning step".  This example shows that
+workflow:
+
+1. run a short, known-good decoding session and learn a reference model;
+2. store the model in a :class:`~repro.analysis.refdb.ReferenceDatabase`;
+3. later (possibly on another machine), load the model by name and monitor a
+   new endurance run without re-learning.
+
+Run with::
+
+    python examples/reference_database.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DetectorConfig, EventTypeRegistry, MonitorConfig, TraceMonitor
+from repro.analysis.refdb import ReferenceDatabase
+from repro.config import EnduranceConfig, MediaConfig, MonitorConfig as MonCfg, PerturbationConfig
+from repro.media.app import EnduranceRun
+from repro.trace.stream import TraceStream
+
+
+def learn_reference_model(registry: EventTypeRegistry):
+    """Simulate a short, perturbation-free decoding session and learn from it."""
+    config = EnduranceConfig(
+        monitor=MonCfg(reference_duration_us=50_000_000),
+        media=MediaConfig(duration_s=60.0, seed=11),
+        # a single perturbation placed after the part we learn from; the
+        # reference windows themselves are clean
+        perturbation=PerturbationConfig(start_offset_s=55.0, period_s=120.0, duration_s=4.0),
+    )
+    trace = EnduranceRun(config).run()
+    monitor = TraceMonitor(
+        DetectorConfig(k_neighbours=20),
+        MonitorConfig(window_duration_us=40_000, reference_duration_us=50_000_000),
+        registry,
+    )
+    reference_windows, _ = trace.stream().split_reference(50_000_000, 40_000)
+    return monitor.learn_reference(reference_windows)
+
+
+def monitor_new_run(database: ReferenceDatabase, registry: EventTypeRegistry) -> None:
+    """Monitor a fresh endurance run using the stored model (no learning)."""
+    model = database.get("gstreamer-1080p-decode")
+    config = EnduranceConfig(
+        monitor=MonCfg(reference_duration_us=30_000_000),
+        media=MediaConfig(duration_s=240.0, seed=99),
+        perturbation=PerturbationConfig(start_offset_s=60.0, period_s=90.0, duration_s=20.0),
+    )
+    print("simulating a new 240s endurance run ...")
+    trace = EnduranceRun(config).run()
+    monitor = TraceMonitor(
+        DetectorConfig(k_neighbours=20, lof_threshold=1.2),
+        MonitorConfig(window_duration_us=40_000),
+        registry,
+    )
+    result = monitor.run_on_stream(TraceStream(iter(trace.events)), model=model)
+    report = result.report
+    print(f"windows monitored : {result.n_windows} (0 spent on learning)")
+    print(f"anomalous windows : {result.n_anomalous}")
+    print(f"reduction factor  : {report.reduction_factor:.1f}x")
+    flagged_seconds = sorted({int(d.start_us / 1e6) for d in result.anomalous_windows()})
+    print(f"flagged seconds   : {flagged_seconds[:20]} ...")
+    print("ground-truth perturbations:", [(i.start_s, i.end_s) for i in trace.perturbation_intervals])
+
+
+def main() -> None:
+    registry = EventTypeRegistry.with_default_types()
+    with tempfile.TemporaryDirectory() as tmp:
+        database = ReferenceDatabase(Path(tmp) / "reference-models")
+
+        print("learning the reference model from a known-good session ...")
+        model = learn_reference_model(registry)
+        database.add(
+            "gstreamer-1080p-decode",
+            model,
+            description="Healthy 1080p25 decode on one core",
+            tags=("video", "single-core"),
+            metadata={"window_ms": 40, "k": 20},
+        )
+        print(f"stored models: {database.names()}")
+        print()
+        monitor_new_run(database, registry)
+
+
+if __name__ == "__main__":
+    main()

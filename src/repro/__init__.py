@@ -1,0 +1,132 @@
+"""repro — reproduction of "Reducing trace size in multimedia applications
+endurance tests" (DATE 2015).
+
+The library has three layers:
+
+* **Substrates** — :mod:`repro.trace` (events, windows, codecs, IO),
+  :mod:`repro.platform` (discrete-event MPSoC simulator) and
+  :mod:`repro.media` (GStreamer-like decoding pipeline, perturbations, QoS
+  errors).  Together they stand in for the paper's real hardware + GStreamer
+  setup and produce realistic endurance-test traces.
+* **Analysis** — :mod:`repro.analysis`: the paper's contribution (pmf
+  abstraction, Kullback-Leibler gate, Local Outlier Factor, online monitor,
+  selective recorder) plus the evaluation protocol (labelling, metrics),
+  baselines and the periodicity extension.
+* **Experiments** — :mod:`repro.experiments`: the endurance experiment of
+  the paper's Section III, parameter sweeps and plain-text reports; the
+  benchmarks under ``benchmarks/`` drive these to regenerate the paper's
+  figure and headline numbers.
+
+Quickstart::
+
+    from repro import EnduranceConfig, run_endurance_experiment
+
+    config = EnduranceConfig.scaled_paper_setup(duration_s=900.0)
+    result = run_endurance_experiment(config)
+    print(result.metrics.precision, result.metrics.recall)
+    print(result.monitor_result.report.reduction_factor)
+"""
+
+from .version import __version__
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    LabelingError,
+    ModelError,
+    NotFittedError,
+    PipelineError,
+    RecorderError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+    TraceStreamError,
+)
+from .config import (
+    DetectorConfig,
+    EnduranceConfig,
+    MediaConfig,
+    MonitorConfig,
+    PerturbationConfig,
+    PlatformConfig,
+    load_config,
+    save_config,
+)
+from .trace import (
+    EventType,
+    EventTypeRegistry,
+    TraceEvent,
+    TraceStream,
+    TraceWindow,
+    read_trace,
+    write_trace,
+)
+from .analysis import (
+    LocalOutlierFactor,
+    MonitorResult,
+    OnlineAnomalyDetector,
+    Pmf,
+    ReferenceDatabase,
+    ReferenceModel,
+    SelectiveTraceRecorder,
+    TraceMonitor,
+    compute_metrics,
+    kl_divergence,
+    symmetric_kl_divergence,
+)
+from .media import EnduranceRun, EnduranceTrace
+from .experiments import (
+    EnduranceExperimentResult,
+    alpha_sweep,
+    run_endurance_experiment,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "TraceFormatError",
+    "TraceStreamError",
+    "SimulationError",
+    "PipelineError",
+    "ModelError",
+    "NotFittedError",
+    "LabelingError",
+    "RecorderError",
+    "ExperimentError",
+    # configuration
+    "DetectorConfig",
+    "MonitorConfig",
+    "PlatformConfig",
+    "MediaConfig",
+    "PerturbationConfig",
+    "EnduranceConfig",
+    "load_config",
+    "save_config",
+    # trace substrate
+    "EventType",
+    "EventTypeRegistry",
+    "TraceEvent",
+    "TraceWindow",
+    "TraceStream",
+    "read_trace",
+    "write_trace",
+    # analysis
+    "Pmf",
+    "kl_divergence",
+    "symmetric_kl_divergence",
+    "LocalOutlierFactor",
+    "ReferenceModel",
+    "ReferenceDatabase",
+    "OnlineAnomalyDetector",
+    "TraceMonitor",
+    "MonitorResult",
+    "SelectiveTraceRecorder",
+    "compute_metrics",
+    # media / experiments
+    "EnduranceRun",
+    "EnduranceTrace",
+    "EnduranceExperimentResult",
+    "run_endurance_experiment",
+    "alpha_sweep",
+]

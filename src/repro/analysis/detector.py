@@ -1,0 +1,213 @@
+"""Online anomaly detection over the window stream (paper Section II).
+
+For every incoming window the detector:
+
+1. computes the window pmf ``Npmf``;
+2. compares it with the running past pmf ``Ppmf`` using the (symmetrised,
+   smoothed) Kullback-Leibler divergence;
+3. if the two are similar, merges ``Npmf`` into ``Ppmf`` — no LOF test is
+   performed (this both saves computation and lets the detector follow slow
+   drifts of the correct behaviour);
+4. otherwise computes the LOF of ``Npmf`` against the learned reference
+   model and declares the window anomalous when ``LOF >= alpha``.
+
+The outcome of each window is captured in a :class:`WindowDecision`; the
+decisions are what the recorder, the evaluation code and the threshold
+sweeps consume.  Note that the LOF score of a window does not depend on
+``alpha``, so a single monitoring pass supports sweeping ``alpha``
+afterwards (that is how the Figure 1 benchmark is generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import DetectorConfig
+from ..errors import ModelError
+from ..trace.event import EventTypeRegistry
+from ..trace.window import TraceWindow
+from .divergence import symmetric_kl_divergence
+from .model import ReferenceModel
+from .pmf import Pmf, pmf_from_window
+
+__all__ = ["DetectionOutcome", "WindowDecision", "OnlineAnomalyDetector"]
+
+
+class DetectionOutcome(str, Enum):
+    """What the detector did with a window."""
+
+    #: The window pmf was close to the running past pmf; it was merged and no
+    #: LOF test was run.
+    MERGED = "merged"
+    #: LOF was computed and stayed below the threshold: the window is normal.
+    NORMAL = "normal"
+    #: LOF was computed and reached the threshold: the window is anomalous.
+    ANOMALOUS = "anomalous"
+    #: The window contained no events; nothing could be computed.
+    EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """Decision record for one monitored window.
+
+    Attributes
+    ----------
+    window_index:
+        Index of the window in the stream.
+    start_us / end_us:
+        Time extent of the window.
+    n_events:
+        Number of events in the window.
+    kl_to_past:
+        Symmetrised KL divergence between the window pmf and the running
+        past pmf at the time the window was processed (``nan`` for empty
+        windows).
+    lof_score:
+        LOF score of the window, or ``None`` when the KL gate skipped the
+        LOF computation (or the window was empty).
+    outcome:
+        What the detector concluded.
+    window_bytes:
+        Binary-encoded size of the window (filled in by the monitor; the
+        detector itself leaves it at 0).  Threshold sweeps use it to compute
+        the recorded volume for any ``alpha`` without replaying the stream.
+    """
+
+    window_index: int
+    start_us: int
+    end_us: int
+    n_events: int
+    kl_to_past: float
+    lof_score: float | None
+    outcome: DetectionOutcome
+    window_bytes: int = 0
+
+    @property
+    def anomalous(self) -> bool:
+        """Whether the window was declared anomalous (and hence recorded)."""
+        return self.outcome is DetectionOutcome.ANOMALOUS
+
+    @property
+    def lof_checked(self) -> bool:
+        """Whether a LOF computation was actually performed."""
+        return self.lof_score is not None
+
+    def anomalous_at(self, alpha: float) -> bool:
+        """Re-evaluate the decision for a different LOF threshold ``alpha``.
+
+        Windows whose LOF score was never computed (merged or empty windows)
+        remain non-anomalous for every threshold, exactly as they would have
+        been in a live run with that threshold, because the KL gate does not
+        depend on ``alpha``.
+        """
+        if self.lof_score is None:
+            return False
+        return self.lof_score >= alpha
+
+
+class OnlineAnomalyDetector:
+    """Stateful detector driving the KL gate and the LOF test."""
+
+    def __init__(
+        self,
+        model: ReferenceModel,
+        config: DetectorConfig,
+        registry: EventTypeRegistry,
+    ) -> None:
+        if not model.is_fitted:
+            raise ModelError("the reference model must be learned before monitoring")
+        self.model = model
+        self.config = config
+        self.registry = registry
+        self._past_pmf: Pmf = model.mean_reference_pmf(registry)
+        self._n_processed = 0
+        self._n_lof_computed = 0
+        self._n_merged = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def past_pmf(self) -> Pmf:
+        """Current running past pmf ``Ppmf``."""
+        return self._past_pmf
+
+    @property
+    def n_processed(self) -> int:
+        """Number of windows processed so far."""
+        return self._n_processed
+
+    @property
+    def n_lof_computed(self) -> int:
+        """Number of windows for which a LOF score was computed."""
+        return self._n_lof_computed
+
+    @property
+    def n_merged(self) -> int:
+        """Number of windows merged into the past pmf by the KL gate."""
+        return self._n_merged
+
+    @property
+    def lof_computation_rate(self) -> float:
+        """Fraction of windows that required a LOF computation."""
+        if self._n_processed == 0:
+            return 0.0
+        return self._n_lof_computed / self._n_processed
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+    def process(self, window: TraceWindow) -> WindowDecision:
+        """Process one window and return the decision."""
+        self._n_processed += 1
+        if window.is_empty:
+            return WindowDecision(
+                window_index=window.index,
+                start_us=window.start_us,
+                end_us=window.end_us,
+                n_events=0,
+                kl_to_past=float("nan"),
+                lof_score=None,
+                outcome=DetectionOutcome.EMPTY,
+            )
+
+        current = pmf_from_window(window, self.registry)
+        kl = symmetric_kl_divergence(
+            current, self._past_pmf, smoothing=self.config.kl_smoothing
+        )
+
+        if self.config.use_kl_gate and kl < self.config.kl_threshold:
+            self._merge(current)
+            self._n_merged += 1
+            return WindowDecision(
+                window_index=window.index,
+                start_us=window.start_us,
+                end_us=window.end_us,
+                n_events=len(window),
+                kl_to_past=kl,
+                lof_score=None,
+                outcome=DetectionOutcome.MERGED,
+            )
+
+        score = self.model.lof_score(current)
+        self._n_lof_computed += 1
+        anomalous = score >= self.config.lof_threshold
+        if not anomalous:
+            # A window that passed the LOF test is "regular" even though it
+            # drifted away from the recent past: fold it into Ppmf so slow
+            # behaviour changes keep being tracked (paper Section II).
+            self._merge(current)
+        return WindowDecision(
+            window_index=window.index,
+            start_us=window.start_us,
+            end_us=window.end_us,
+            n_events=len(window),
+            kl_to_past=kl,
+            lof_score=score,
+            outcome=DetectionOutcome.ANOMALOUS if anomalous else DetectionOutcome.NORMAL,
+        )
+
+    def _merge(self, current: Pmf) -> None:
+        self._past_pmf = self._past_pmf.merge(current, decay=self.config.merge_decay)

@@ -1,0 +1,120 @@
+"""Divergences and distances between probability mass functions.
+
+The paper compares the current window's pmf with the running past pmf using
+the Kullback-Leibler divergence (reference [4] of the paper).  KL is not
+symmetric and blows up when the second argument has zero-probability
+components, so the implementation:
+
+* applies additive (Laplace) smoothing before taking logarithms, and
+* also provides the symmetrised KL, the Jensen-Shannon divergence and the
+  total-variation distance, which the ablation benchmarks use to check that
+  the choice of divergence is not what makes the approach work.
+
+All functions accept either :class:`~repro.analysis.pmf.Pmf` objects or raw
+probability vectors (anything :func:`numpy.asarray` accepts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .pmf import Pmf
+
+__all__ = [
+    "kl_divergence",
+    "symmetric_kl_divergence",
+    "js_divergence",
+    "total_variation_distance",
+    "hellinger_distance",
+]
+
+_DEFAULT_SMOOTHING = 1e-9
+
+
+def _raw_vector(value) -> tuple[np.ndarray, bool]:
+    """Return ``(raw non-negative vector, is_pmf)`` for ``value``."""
+    if isinstance(value, Pmf):
+        return value.counts, True
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 1:
+        raise ModelError(f"distributions must be one-dimensional, got shape {array.shape}")
+    if np.any(array < 0):
+        raise ModelError("distributions must be non-negative")
+    return array, False
+
+
+def _as_distributions(p, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
+    """Convert both arguments to smoothed, normalised, same-length vectors.
+
+    Two :class:`~repro.analysis.pmf.Pmf` arguments may have different lengths
+    because the shared event-type registry grows over time; the shorter one is
+    zero-padded (the missing types simply never occurred).  Plain vectors must
+    have equal lengths — a mismatch there is a caller bug, not registry growth.
+    """
+    if smoothing < 0:
+        raise ModelError("smoothing must be >= 0")
+    p_raw, p_is_pmf = _raw_vector(p)
+    q_raw, q_is_pmf = _raw_vector(q)
+    if len(p_raw) != len(q_raw):
+        if not (p_is_pmf and q_is_pmf):
+            raise ModelError(
+                f"distribution lengths differ: {len(p_raw)} vs {len(q_raw)}"
+            )
+        size = max(len(p_raw), len(q_raw))
+        p_raw = np.pad(p_raw, (0, size - len(p_raw)))
+        q_raw = np.pad(q_raw, (0, size - len(q_raw)))
+
+    def _normalise(raw: np.ndarray) -> np.ndarray:
+        values = raw + smoothing
+        total = values.sum()
+        if total <= 0:
+            raise ModelError("distribution must have positive mass")
+        return values / total
+
+    return _normalise(p_raw), _normalise(q_raw)
+
+
+def kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+    """Kullback-Leibler divergence ``D(p || q)`` in nats.
+
+    Both arguments are smoothed and normalised first, so the result is always
+    finite.  KL is asymmetric: ``kl_divergence(p, q) != kl_divergence(q, p)``
+    in general.
+    """
+    p_vec, q_vec = _as_distributions(p, q, smoothing)
+    return float(np.sum(p_vec * (np.log(p_vec) - np.log(q_vec))))
+
+
+def symmetric_kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+    """Symmetrised KL divergence ``(D(p||q) + D(q||p)) / 2``.
+
+    This is the quantity the online detector actually thresholds: the paper
+    speaks of the "Kullback-Leibler distance", which in practice means a
+    symmetrised form so the comparison does not depend on the argument order.
+    """
+    return 0.5 * (kl_divergence(p, q, smoothing) + kl_divergence(q, p, smoothing))
+
+
+def js_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+    """Jensen-Shannon divergence (bounded by ``log 2``, symmetric)."""
+    p_vec, q_vec = _as_distributions(p, q, smoothing)
+    mixture = 0.5 * (p_vec + q_vec)
+    return 0.5 * (
+        float(np.sum(p_vec * (np.log(p_vec) - np.log(mixture))))
+        + float(np.sum(q_vec * (np.log(q_vec) - np.log(mixture))))
+    )
+
+
+def total_variation_distance(p, q, smoothing: float = 0.0) -> float:
+    """Total-variation distance ``0.5 * sum |p - q|`` (in [0, 1])."""
+    p_vec, q_vec = _as_distributions(
+        p, q, smoothing if smoothing > 0 else _DEFAULT_SMOOTHING
+    )
+    return 0.5 * float(np.abs(p_vec - q_vec).sum())
+
+
+def hellinger_distance(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+    """Hellinger distance (in [0, 1]); sometimes used instead of KL for pmfs."""
+    p_vec, q_vec = _as_distributions(p, q, smoothing)
+    return float(np.sqrt(0.5 * np.sum((np.sqrt(p_vec) - np.sqrt(q_vec)) ** 2)))

@@ -1,0 +1,184 @@
+"""k-nearest-neighbour search used by the Local Outlier Factor.
+
+Two interchangeable indexes are provided behind the :class:`KnnIndex`
+interface:
+
+* :class:`BruteForceKnn` — vectorised exhaustive search (numpy); exact, no
+  build cost, and in practice the fastest option for the dimensionalities
+  (tens of event types) and model sizes (thousands of reference windows)
+  this library deals with;
+* :class:`KdTreeKnn` — a from-scratch k-d tree; exact as well, provided for
+  larger reference models and as an independent implementation the tests
+  cross-check the brute-force results against.
+
+Both return *distances to* and *indices of* the ``k`` nearest points using
+the Euclidean metric on pmf probability vectors (the metric LOF's authors
+use; the reference points live on the probability simplex so Euclidean and
+cosine orderings are nearly identical there).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["KnnIndex", "BruteForceKnn", "KdTreeKnn"]
+
+
+def _validate_points(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ModelError(f"points must be a 2-D array, got shape {points.shape}")
+    if len(points) == 0:
+        raise ModelError("cannot build a k-NN index over zero points")
+    if not np.all(np.isfinite(points)):
+        raise ModelError("points must be finite")
+    return points
+
+
+class KnnIndex(ABC):
+    """Interface of a k-nearest-neighbour index over a fixed point set."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        self.points = _validate_points(points)
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return len(self.points)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self.points.shape[1]
+
+    @abstractmethod
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indices)`` of the ``k`` nearest points.
+
+        Distances are sorted in non-decreasing order.  ``k`` is clamped to
+        the number of indexed points.
+        """
+
+    def query_many(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`query` over several query points."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        distances = []
+        indices = []
+        for query in queries:
+            d, i = self.query(query, k)
+            distances.append(d)
+            indices.append(i)
+        return np.asarray(distances), np.asarray(indices)
+
+    def _check_query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, int]:
+        point = np.asarray(point, dtype=float).reshape(-1)
+        if len(point) != self.dimension:
+            raise ModelError(
+                f"query dimension {len(point)} does not match index dimension {self.dimension}"
+            )
+        if k <= 0:
+            raise ModelError("k must be positive")
+        return point, min(k, self.n_points)
+
+
+class BruteForceKnn(KnnIndex):
+    """Exact k-NN by exhaustive vectorised distance computation."""
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        point, k = self._check_query(point, k)
+        deltas = self.points - point
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        if k >= len(distances):
+            order = np.argsort(distances, kind="stable")
+        else:
+            nearest = np.argpartition(distances, k - 1)[:k]
+            order = nearest[np.argsort(distances[nearest], kind="stable")]
+        return distances[order], order
+
+
+@dataclass
+class _KdNode:
+    """A node of the k-d tree (leaf when ``indices`` is set)."""
+
+    axis: int = -1
+    split: float = 0.0
+    left: "_KdNode | None" = None
+    right: "_KdNode | None" = None
+    indices: np.ndarray | None = None
+
+
+class KdTreeKnn(KnnIndex):
+    """Exact k-NN using a median-split k-d tree with leaf buckets."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16) -> None:
+        super().__init__(points)
+        if leaf_size <= 0:
+            raise ModelError("leaf_size must be positive")
+        self.leaf_size = int(leaf_size)
+        all_indices = np.arange(self.n_points)
+        self._root = self._build(all_indices, depth=0)
+
+    def _build(self, indices: np.ndarray, depth: int) -> _KdNode:
+        if len(indices) <= self.leaf_size:
+            return _KdNode(indices=indices)
+        subset = self.points[indices]
+        # Split along the axis with the largest spread; this keeps the tree
+        # useful even though pmf vectors concentrate on few dimensions.
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0:
+            # All points identical along every axis: make a leaf to avoid
+            # infinite recursion on duplicated points.
+            return _KdNode(indices=indices)
+        values = subset[:, axis]
+        split = float(np.median(values))
+        left_mask = values <= split
+        # Guard against degenerate splits where the median equals the max.
+        if left_mask.all() or not left_mask.any():
+            left_mask = values < split
+            if left_mask.all() or not left_mask.any():
+                return _KdNode(indices=indices)
+        node = _KdNode(axis=axis, split=split)
+        node.left = self._build(indices[left_mask], depth + 1)
+        node.right = self._build(indices[~left_mask], depth + 1)
+        return node
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        point, k = self._check_query(point, k)
+        # best: list of (distance, index) kept sorted, at most k entries.
+        best_distances = np.full(k, np.inf)
+        best_indices = np.full(k, -1, dtype=int)
+
+        def _consider(indices: np.ndarray) -> None:
+            nonlocal best_distances, best_indices
+            deltas = self.points[indices] - point
+            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            all_d = np.concatenate([best_distances, distances])
+            all_i = np.concatenate([best_indices, indices])
+            order = np.argsort(all_d, kind="stable")[:k]
+            best_distances = all_d[order]
+            best_indices = all_i[order]
+
+        def _search(node: _KdNode) -> None:
+            if node.indices is not None:
+                _consider(node.indices)
+                return
+            value = point[node.axis]
+            first, second = (
+                (node.left, node.right) if value <= node.split else (node.right, node.left)
+            )
+            if first is not None:
+                _search(first)
+            # Only descend the far branch if the splitting plane is closer
+            # than the current k-th best distance.
+            if second is not None and abs(value - node.split) <= best_distances[-1]:
+                _search(second)
+
+        _search(self._root)
+        valid = best_indices >= 0
+        return best_distances[valid], best_indices[valid]

@@ -1,0 +1,214 @@
+"""Ground-truth labelling of monitored windows (paper Section III).
+
+The paper labels every monitored window by combining three ingredients:
+
+* the known perturbation intervals,
+* the application's error messages (GStreamer QoS errors),
+* the detector's verdict (``LOF >= alpha``),
+
+with one subtlety: because of the player's buffering, the *observable* impact
+of a perturbation is delayed by ``Δs`` after its start and persists for
+``Δe`` after its end.  The paper estimates average delays on a small
+calibration portion of the run and then labels:
+
+* **TP** — window in ``[start + Δs, end + Δe]``, an error is reported and
+  ``LOF >= alpha``;
+* **FN** — window in the impact interval, an error is reported, but
+  ``LOF < alpha``;
+* **FP** — ``LOF >= alpha`` but no error is reported or the window is outside
+  every impact interval;
+* **TN** — everything else.
+
+This module implements both the delay estimation and the labelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from ..errors import LabelingError
+from ..media.perturbation import PerturbationInterval
+from .detector import WindowDecision
+
+__all__ = [
+    "WindowLabel",
+    "ImpactInterval",
+    "GroundTruth",
+    "estimate_impact_delays",
+    "label_windows",
+]
+
+
+class WindowLabel(str, Enum):
+    """Confusion-matrix label of one monitored window."""
+
+    TRUE_POSITIVE = "TP"
+    FALSE_POSITIVE = "FP"
+    FALSE_NEGATIVE = "FN"
+    TRUE_NEGATIVE = "TN"
+
+
+@dataclass(frozen=True)
+class ImpactInterval:
+    """A perturbation interval shifted by the estimated impact delays."""
+
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise LabelingError(
+                f"impact interval ends before it starts: [{self.start_us}, {self.end_us})"
+            )
+
+    def overlaps_window(self, start_us: float, end_us: float) -> bool:
+        """Whether the interval intersects the window ``[start_us, end_us)``."""
+        return self.start_us < end_us and start_us < self.end_us
+
+
+def estimate_impact_delays(
+    intervals: Sequence[PerturbationInterval],
+    error_timestamps_us: Sequence[int],
+    calibration_intervals: int = 2,
+    max_tail_s: float = 60.0,
+) -> tuple[float, float]:
+    """Estimate the mean impact delays ``(Δs, Δe)`` in microseconds.
+
+    For each of the first ``calibration_intervals`` perturbations (the paper
+    calibrates on a two-minute portion of the video):
+
+    * ``Δs`` is the delay between the perturbation start and the first error
+      reported afterwards;
+    * ``Δe`` is the delay between the perturbation end and the last error
+      reported before the errors die out (bounded by ``max_tail_s`` so an
+      unrelated later error is not attributed to this perturbation).
+
+    Perturbations that produced no error at all are skipped.  If none of the
+    calibration perturbations produced errors, ``(0.0, 0.0)`` is returned —
+    the labelling then degrades to the unshifted intervals.
+    """
+    if calibration_intervals <= 0:
+        raise LabelingError("calibration_intervals must be positive")
+    if max_tail_s <= 0:
+        raise LabelingError("max_tail_s must be positive")
+
+    errors = sorted(int(t) for t in error_timestamps_us)
+    ordered = sorted(intervals, key=lambda interval: interval.start_us)
+    start_delays: list[float] = []
+    end_delays: list[float] = []
+    for position, interval in enumerate(ordered[:calibration_intervals]):
+        tail_limit_us = interval.end_us + max_tail_s * 1e6
+        if position + 1 < len(ordered):
+            # Errors caused by the next perturbation must not be attributed
+            # to this one.
+            tail_limit_us = min(tail_limit_us, ordered[position + 1].start_us)
+        related = [t for t in errors if interval.start_us <= t < tail_limit_us]
+        if not related:
+            continue
+        start_delays.append(related[0] - interval.start_us)
+        end_delays.append(max(0.0, related[-1] - interval.end_us))
+    if not start_delays:
+        return 0.0, 0.0
+    return (
+        sum(start_delays) / len(start_delays),
+        sum(end_delays) / len(end_delays),
+    )
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Ground truth against which window decisions are labelled."""
+
+    impact_intervals: tuple[ImpactInterval, ...]
+    error_timestamps_us: tuple[int, ...]
+    delta_start_us: float = 0.0
+    delta_end_us: float = 0.0
+
+    @classmethod
+    def from_run(
+        cls,
+        intervals: Sequence[PerturbationInterval],
+        error_timestamps_us: Sequence[int],
+        calibration_intervals: int = 2,
+        max_tail_s: float = 60.0,
+    ) -> "GroundTruth":
+        """Build the ground truth from a run's perturbations and error log."""
+        delta_start, delta_end = estimate_impact_delays(
+            intervals,
+            error_timestamps_us,
+            calibration_intervals=calibration_intervals,
+            max_tail_s=max_tail_s,
+        )
+        impact = tuple(
+            ImpactInterval(
+                start_us=interval.start_us + delta_start,
+                end_us=interval.end_us + delta_end,
+            )
+            for interval in intervals
+        )
+        return cls(
+            impact_intervals=impact,
+            error_timestamps_us=tuple(sorted(int(t) for t in error_timestamps_us)),
+            delta_start_us=delta_start,
+            delta_end_us=delta_end,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def window_in_impact(self, start_us: float, end_us: float) -> bool:
+        """Whether the window overlaps any impact interval."""
+        return any(
+            interval.overlaps_window(start_us, end_us)
+            for interval in self.impact_intervals
+        )
+
+    def window_has_error(self, start_us: float, end_us: float) -> bool:
+        """Whether an application error was reported inside the window.
+
+        Uses binary search over the sorted error timestamps.
+        """
+        import bisect
+
+        timestamps = self.error_timestamps_us
+        position = bisect.bisect_left(timestamps, int(start_us))
+        return position < len(timestamps) and timestamps[position] < end_us
+
+    def expected_anomalous(self, start_us: float, end_us: float) -> bool:
+        """Whether a window *should* be flagged (impact interval + error)."""
+        return self.window_in_impact(start_us, end_us) and self.window_has_error(
+            start_us, end_us
+        )
+
+
+def label_windows(
+    decisions: Iterable[WindowDecision],
+    ground_truth: GroundTruth,
+    alpha: float | None = None,
+) -> list[WindowLabel]:
+    """Label every decision following the paper's protocol.
+
+    When ``alpha`` is ``None`` the decision recorded during monitoring is
+    used; otherwise the stored LOF scores are re-thresholded at ``alpha``
+    (which is how the Figure 1 sweep evaluates many thresholds from a single
+    monitoring pass).
+    """
+    labels: list[WindowLabel] = []
+    for decision in decisions:
+        detected = (
+            decision.anomalous if alpha is None else decision.anomalous_at(alpha)
+        )
+        should_detect = ground_truth.expected_anomalous(
+            decision.start_us, decision.end_us
+        )
+        if should_detect and detected:
+            labels.append(WindowLabel.TRUE_POSITIVE)
+        elif should_detect and not detected:
+            labels.append(WindowLabel.FALSE_NEGATIVE)
+        elif detected:
+            labels.append(WindowLabel.FALSE_POSITIVE)
+        else:
+            labels.append(WindowLabel.TRUE_NEGATIVE)
+    return labels

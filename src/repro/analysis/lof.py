@@ -1,0 +1,168 @@
+"""Local Outlier Factor (Breunig et al., SIGMOD 2000) — reference [3] of the paper.
+
+LOF compares the local density around a query point with the local densities
+around its ``k`` nearest neighbours:
+
+* ``LOF ≈ 1``  — the point sits inside a cluster of "regular" points;
+* ``LOF ≫ 1``  — the point is in a sparser region than its neighbours, i.e.
+  it is likely an outlier (the paper records the window when
+  ``LOF ≥ alpha > 1``).
+
+The implementation follows the original definitions:
+
+``k_distance(o)``
+    distance from ``o`` to its ``k``-th nearest neighbour (within the model).
+``reach_dist_k(p, o) = max(k_distance(o), d(p, o))``
+    reachability distance of ``p`` from ``o``.
+``lrd_k(p) = k / sum_o reach_dist_k(p, o)``
+    local reachability density of ``p``.
+``LOF_k(p) = mean_o( lrd_k(o) ) / lrd_k(p)``
+    the Local Outlier Factor.
+
+Duplicated points would make ``lrd`` infinite; a small epsilon keeps every
+quantity finite while preserving the ordering of scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .knn import BruteForceKnn, KdTreeKnn, KnnIndex
+
+__all__ = ["LocalOutlierFactor"]
+
+_EPSILON = 1e-12
+
+
+class LocalOutlierFactor:
+    """Local Outlier Factor scorer over a fixed reference point set.
+
+    Parameters
+    ----------
+    k_neighbours:
+        Number of neighbours (``K`` in the paper; its experiment uses 20).
+    index_kind:
+        ``"brute"`` (default) or ``"kdtree"``; both are exact, see
+        :mod:`repro.analysis.knn`.
+    """
+
+    def __init__(self, k_neighbours: int = 20, index_kind: str = "brute") -> None:
+        if k_neighbours < 1:
+            raise ModelError("k_neighbours must be >= 1")
+        if index_kind not in {"brute", "kdtree"}:
+            raise ModelError(f"unknown index kind: {index_kind!r}")
+        self.k_neighbours = int(k_neighbours)
+        self.index_kind = index_kind
+        self._index: KnnIndex | None = None
+        self._k_distances: np.ndarray | None = None
+        self._lrd: np.ndarray | None = None
+        self._training_scores: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, points: np.ndarray) -> "LocalOutlierFactor":
+        """Fit the model on the reference points (one row per pmf vector)."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ModelError(f"points must be 2-D, got shape {points.shape}")
+        if len(points) <= self.k_neighbours:
+            raise ModelError(
+                f"need more than k_neighbours={self.k_neighbours} reference points, "
+                f"got {len(points)}"
+            )
+        index_cls = BruteForceKnn if self.index_kind == "brute" else KdTreeKnn
+        self._index = index_cls(points)
+
+        n = len(points)
+        k = self.k_neighbours
+        neighbour_distances = np.empty((n, k))
+        neighbour_indices = np.empty((n, k), dtype=int)
+        for i in range(n):
+            # Ask for k + 1 because the point itself (distance 0) is returned
+            # first when querying with a fitted point.
+            distances, indices = self._index.query(points[i], k + 1)
+            mask = indices != i
+            distances = distances[mask][:k]
+            indices = indices[mask][:k]
+            if len(distances) < k:
+                # Happens only when duplicate points collide with i's own
+                # exclusion; pad with the largest available neighbour.
+                pad = k - len(distances)
+                distances = np.concatenate([distances, np.repeat(distances[-1], pad)])
+                indices = np.concatenate([indices, np.repeat(indices[-1], pad)])
+            neighbour_distances[i] = distances
+            neighbour_indices[i] = indices
+
+        self._k_distances = neighbour_distances[:, -1].copy()
+
+        # Local reachability densities of the training points.
+        reach = np.maximum(self._k_distances[neighbour_indices], neighbour_distances)
+        self._lrd = self.k_neighbours / np.maximum(reach.sum(axis=1), _EPSILON)
+
+        # LOF of the training points themselves (useful diagnostics and the
+        # basis for contamination-style threshold calibration).
+        neighbour_lrd = self._lrd[neighbour_indices]
+        self._training_scores = neighbour_lrd.mean(axis=1) / np.maximum(self._lrd, _EPSILON)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._index is not None
+
+    def _require_fitted(self) -> KnnIndex:
+        if self._index is None or self._k_distances is None or self._lrd is None:
+            raise NotFittedError("LocalOutlierFactor.score() called before fit()")
+        return self._index
+
+    @property
+    def n_reference_points(self) -> int:
+        """Number of reference points the model was fitted on."""
+        return self._require_fitted().n_points
+
+    @property
+    def training_scores(self) -> np.ndarray:
+        """LOF scores of the reference points themselves."""
+        self._require_fitted()
+        assert self._training_scores is not None
+        return self._training_scores.copy()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score(self, point: np.ndarray) -> float:
+        """LOF score of a single query point against the reference set."""
+        index = self._require_fitted()
+        assert self._k_distances is not None and self._lrd is not None
+        point = np.asarray(point, dtype=float).reshape(-1)
+        distances, indices = index.query(point, self.k_neighbours)
+        reach = np.maximum(self._k_distances[indices], distances)
+        lrd_query = len(indices) / max(float(reach.sum()), _EPSILON)
+        neighbour_lrd = self._lrd[indices]
+        return float(neighbour_lrd.mean() / max(lrd_query, _EPSILON))
+
+    def score_many(self, points: np.ndarray) -> np.ndarray:
+        """LOF scores of several query points (one row per point)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return np.array([self.score(point) for point in points])
+
+    def is_anomalous(self, point: np.ndarray, alpha: float) -> bool:
+        """Whether ``point`` exceeds the LOF threshold ``alpha``."""
+        if alpha <= 0:
+            raise ModelError("alpha must be positive")
+        return self.score(point) >= alpha
+
+    def threshold_for_quantile(self, quantile: float) -> float:
+        """LOF value below which ``quantile`` of the reference points fall.
+
+        Useful to pick ``alpha`` automatically: e.g. the 0.995 quantile of
+        the training scores gives a threshold that flags at most ~0.5 % of
+        reference-like windows.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ModelError("quantile must be in (0, 1]")
+        self._require_fitted()
+        assert self._training_scores is not None
+        return float(np.quantile(self._training_scores, quantile))

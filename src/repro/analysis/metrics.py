@@ -1,0 +1,167 @@
+"""Detection-quality metrics (precision, recall, ...) and trace-size metrics.
+
+The paper evaluates its approach with precision and recall over the window
+labels (Figure 1) and with the recorded-vs-full trace size (the 14-fold
+reduction).  This module provides both, plus the usual derived quantities
+(F1, accuracy, false-positive rate) used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import LabelingError
+from .labeling import WindowLabel
+from .recorder import RecorderReport
+
+__all__ = [
+    "ConfusionCounts",
+    "DetectionMetrics",
+    "compute_metrics",
+    "reduction_factor",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Confusion-matrix counts over monitored windows."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.fp, self.fn, self.tn) < 0:
+            raise LabelingError("confusion counts must be non-negative")
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[WindowLabel]) -> "ConfusionCounts":
+        """Aggregate a label sequence into counts."""
+        counter = Counter(labels)
+        return cls(
+            tp=counter.get(WindowLabel.TRUE_POSITIVE, 0),
+            fp=counter.get(WindowLabel.FALSE_POSITIVE, 0),
+            fn=counter.get(WindowLabel.FALSE_NEGATIVE, 0),
+            tn=counter.get(WindowLabel.TRUE_NEGATIVE, 0),
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of labelled windows."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision(self) -> float:
+        """``TP / (TP + FP)`` — fraction of flagged windows that were real anomalies.
+
+        Defined as 0.0 when nothing was flagged (conservative convention).
+        """
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """``TP / (TP + FN)`` — fraction of real anomalies that were flagged.
+
+        Defined as 1.0 when there was nothing to detect.
+        """
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """``(TP + TN) / total`` (0 for an empty label set)."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """``FP / (FP + TN)`` (0 when there were no negatives)."""
+        denominator = self.fp + self.tn
+        return self.fp / denominator if denominator else 0.0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Detection quality together with the trace-size outcome."""
+
+    counts: ConfusionCounts
+    recorded_bytes: int = 0
+    total_bytes: int = 0
+
+    @property
+    def precision(self) -> float:
+        """See :attr:`ConfusionCounts.precision`."""
+        return self.counts.precision
+
+    @property
+    def recall(self) -> float:
+        """See :attr:`ConfusionCounts.recall`."""
+        return self.counts.recall
+
+    @property
+    def f1(self) -> float:
+        """See :attr:`ConfusionCounts.f1`."""
+        return self.counts.f1
+
+    @property
+    def reduction_factor(self) -> float:
+        """Full-trace bytes divided by recorded bytes (see the paper's 14x)."""
+        return reduction_factor(self.total_bytes, self.recorded_bytes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form used by reports and benchmarks."""
+        return {
+            "tp": self.counts.tp,
+            "fp": self.counts.fp,
+            "fn": self.counts.fn,
+            "tn": self.counts.tn,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "recorded_bytes": self.recorded_bytes,
+            "total_bytes": self.total_bytes,
+            "reduction_factor": self.reduction_factor,
+        }
+
+
+def compute_metrics(
+    labels: Iterable[WindowLabel],
+    report: RecorderReport | None = None,
+) -> DetectionMetrics:
+    """Compute :class:`DetectionMetrics` from labels and an optional recorder report."""
+    counts = ConfusionCounts.from_labels(labels)
+    if report is None:
+        return DetectionMetrics(counts=counts)
+    return DetectionMetrics(
+        counts=counts,
+        recorded_bytes=report.recorded_bytes,
+        total_bytes=report.total_bytes,
+    )
+
+
+def reduction_factor(total_bytes: int, recorded_bytes: int) -> float:
+    """Trace-size reduction factor, with the same conventions as the recorder."""
+    if total_bytes < 0 or recorded_bytes < 0:
+        raise LabelingError("byte counts must be non-negative")
+    if total_bytes == 0:
+        return 1.0
+    if recorded_bytes == 0:
+        return float("inf")
+    return total_bytes / recorded_bytes

@@ -1,0 +1,282 @@
+"""Reference behaviour model (the paper's learning step).
+
+The model of correct behaviour is simply the set of pmf points obtained from
+the windows of a reference trace ("the trace of the first few minutes of
+application execution, during which the developer noticed no QoS errors"),
+plus the fitted :class:`~repro.analysis.lof.LocalOutlierFactor` over those
+points.  The model also remembers the average reference pmf, which seeds the
+online detector's running past pmf.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..trace.event import EventTypeRegistry
+from ..trace.window import TraceWindow
+from .lof import LocalOutlierFactor
+from .pmf import Pmf, pmf_from_window
+
+__all__ = ["ReferenceModel"]
+
+
+class ReferenceModel:
+    """Model of correct behaviour learned from a reference trace.
+
+    Parameters
+    ----------
+    k_neighbours:
+        ``K`` used by the LOF computation.
+    min_events_per_window:
+        Reference windows with fewer events are skipped during learning: they
+        correspond to start-up gaps and would pollute the model with
+        near-empty pmfs.
+    index_kind:
+        Passed through to :class:`~repro.analysis.lof.LocalOutlierFactor`.
+    """
+
+    def __init__(
+        self,
+        k_neighbours: int = 20,
+        min_events_per_window: int = 1,
+        index_kind: str = "brute",
+        deduplicate: bool = True,
+    ) -> None:
+        if min_events_per_window < 0:
+            raise ModelError("min_events_per_window must be >= 0")
+        self.k_neighbours = int(k_neighbours)
+        self.min_events_per_window = int(min_events_per_window)
+        self.index_kind = index_kind
+        self.deduplicate = bool(deduplicate)
+        self._type_names: tuple[str, ...] | None = None
+        self._points: np.ndarray | None = None
+        self._lof: LocalOutlierFactor | None = None
+        self._mean_pmf_counts: np.ndarray | None = None
+        self._n_windows_seen = 0
+        self._n_windows_used = 0
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    def learn(
+        self, windows: Iterable[TraceWindow], registry: EventTypeRegistry
+    ) -> "ReferenceModel":
+        """Fit the model from reference windows.
+
+        The registry is snapshotted at this point: the model's point space is
+        the set of event types known when learning finishes.  Later windows
+        containing new event types are still scorable — their extra mass
+        simply falls outside the reference support, pushing them away from
+        the reference points, which is the desired behaviour.
+        """
+        pmfs: list[Pmf] = []
+        for window in windows:
+            self._n_windows_seen += 1
+            if len(window) < max(self.min_events_per_window, 1):
+                continue
+            pmfs.append(pmf_from_window(window, registry))
+        if len(pmfs) <= self.k_neighbours:
+            raise ModelError(
+                "not enough usable reference windows "
+                f"({len(pmfs)}) for K={self.k_neighbours}; use a longer reference trace"
+            )
+        self._n_windows_used = len(pmfs)
+        self._type_names = registry.names
+        dimension = len(self._type_names)
+        points = np.zeros((len(pmfs), dimension))
+        counts = np.zeros(dimension)
+        for row, pmf in enumerate(pmfs):
+            vector = pmf.probabilities()
+            points[row, : len(vector)] = vector[:dimension]
+            pmf_counts = pmf.counts
+            counts[: len(pmf_counts)] += pmf_counts[:dimension]
+        if self.deduplicate:
+            # Exactly duplicated reference points make the LOF densities
+            # degenerate (k-distance collapses to zero and every slightly
+            # different query looks infinitely anomalous).  Very regular
+            # applications do produce identical windows, so collapse exact
+            # duplicates as long as enough distinct points remain for K.
+            unique = np.unique(np.round(points, decimals=9), axis=0)
+            if len(unique) > self.k_neighbours:
+                points = unique
+        self._points = points
+        self._mean_pmf_counts = counts / len(pmfs)
+        self._lof = LocalOutlierFactor(
+            k_neighbours=self.k_neighbours, index_kind=self.index_kind
+        ).fit(points)
+        return self
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        type_names: Sequence[str],
+        k_neighbours: int = 20,
+        index_kind: str = "brute",
+    ) -> "ReferenceModel":
+        """Build a model directly from pmf vectors (used by the reference DB)."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != len(type_names):
+            raise ModelError(
+                "points shape does not match the number of event-type names"
+            )
+        model = cls(k_neighbours=k_neighbours, index_kind=index_kind)
+        model._type_names = tuple(str(name) for name in type_names)
+        model._points = points
+        model._mean_pmf_counts = points.mean(axis=0)
+        model._n_windows_used = len(points)
+        model._n_windows_seen = len(points)
+        model._lof = LocalOutlierFactor(
+            k_neighbours=k_neighbours, index_kind=index_kind
+        ).fit(points)
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`learn` (or :meth:`from_points`) has run."""
+        return self._lof is not None
+
+    def _require_fitted(self) -> LocalOutlierFactor:
+        if self._lof is None or self._points is None or self._type_names is None:
+            raise NotFittedError("ReferenceModel used before learn()")
+        return self._lof
+
+    @property
+    def n_reference_windows(self) -> int:
+        """Number of windows actually used to build the model."""
+        self._require_fitted()
+        return self._n_windows_used
+
+    @property
+    def n_windows_seen(self) -> int:
+        """Number of windows offered during learning (including skipped ones)."""
+        return self._n_windows_seen
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Event-type names defining the model's point space."""
+        self._require_fitted()
+        assert self._type_names is not None
+        return self._type_names
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the model's point space."""
+        return len(self.type_names)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The reference pmf vectors (copy)."""
+        self._require_fitted()
+        assert self._points is not None
+        return self._points.copy()
+
+    def mean_reference_pmf(self, registry: EventTypeRegistry) -> Pmf:
+        """Average reference pmf, expressed against ``registry``.
+
+        This is what seeds the detector's running past pmf at start-up.
+        """
+        self._require_fitted()
+        assert self._mean_pmf_counts is not None and self._type_names is not None
+        counts = np.zeros(len(registry))
+        for name, value in zip(self._type_names, self._mean_pmf_counts):
+            registry.register(name)
+        counts = np.zeros(len(registry))
+        for name, value in zip(self._type_names, self._mean_pmf_counts):
+            counts[registry.code(name)] = value
+        return Pmf(counts, registry)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def vector_for(self, pmf: Pmf) -> np.ndarray:
+        """Project ``pmf`` onto the model's point space.
+
+        Mass carried by event types unknown to the model is *not*
+        redistributed: the projected vector then sums to less than one, which
+        places it away from every reference point — new event types are by
+        definition suspicious.
+        """
+        self._require_fitted()
+        assert self._type_names is not None
+        probabilities = pmf.probabilities()
+        vector = np.zeros(self.dimension)
+        for position, name in enumerate(self._type_names):
+            if name in pmf.registry:
+                code = pmf.registry.code(name)
+                if code < len(probabilities):
+                    vector[position] = probabilities[code]
+        return vector
+
+    def lof_score(self, pmf: Pmf) -> float:
+        """LOF score of a window pmf against the reference model."""
+        lof = self._require_fitted()
+        return lof.score(self.vector_for(pmf))
+
+    def is_anomalous(self, pmf: Pmf, alpha: float) -> bool:
+        """Whether the window pmf exceeds the LOF threshold ``alpha``."""
+        return self.lof_score(pmf) >= alpha
+
+    def training_scores(self) -> np.ndarray:
+        """LOF scores of the reference windows themselves (diagnostics)."""
+        return self._require_fitted().training_scores
+
+    def suggest_alpha(self, quantile: float = 0.995) -> float:
+        """Suggest an ``alpha`` from the distribution of training scores."""
+        return max(1.0, self._require_fitted().threshold_for_quantile(quantile))
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Save the model (point set + metadata) to ``path`` as ``.npz``."""
+        self._require_fitted()
+        assert self._points is not None and self._mean_pmf_counts is not None
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        metadata = {
+            "k_neighbours": self.k_neighbours,
+            "index_kind": self.index_kind,
+            "type_names": list(self.type_names),
+            "n_windows_seen": self._n_windows_seen,
+            "n_windows_used": self._n_windows_used,
+        }
+        np.savez_compressed(
+            path,
+            points=self._points,
+            mean_counts=self._mean_pmf_counts,
+            metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReferenceModel":
+        """Load a model previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ModelError(f"reference model file does not exist: {path}")
+        with np.load(path) as data:
+            try:
+                metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+                points = np.asarray(data["points"], dtype=float)
+                mean_counts = np.asarray(data["mean_counts"], dtype=float)
+            except (KeyError, json.JSONDecodeError) as exc:
+                raise ModelError(f"malformed reference model file: {path}") from exc
+        model = cls.from_points(
+            points,
+            metadata["type_names"],
+            k_neighbours=int(metadata["k_neighbours"]),
+            index_kind=str(metadata.get("index_kind", "brute")),
+        )
+        model._mean_pmf_counts = mean_counts
+        model._n_windows_seen = int(metadata.get("n_windows_seen", len(points)))
+        model._n_windows_used = int(metadata.get("n_windows_used", len(points)))
+        return model

@@ -1,0 +1,212 @@
+"""End-to-end trace monitor: learning + online detection + selective recording.
+
+:class:`TraceMonitor` is the public entry point a user of the library drives:
+give it a trace stream (from the simulator, from a file, or from any iterable
+of events), it learns the reference model on the configured prefix — or uses
+a model from the curated reference database — then monitors the remainder of
+the stream, recording only the anomalous windows.  The returned
+:class:`MonitorResult` bundles the per-window decisions, the recording report
+and the model, i.e. everything the evaluation layer needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..config import DetectorConfig, MonitorConfig
+from ..errors import ModelError
+from ..logging_util import get_logger
+from ..trace.codec import encoded_trace_size
+from ..trace.event import EventTypeRegistry, TraceEvent
+from ..trace.stream import TraceStream
+from ..trace.window import TraceWindow
+from .detector import OnlineAnomalyDetector, WindowDecision
+from .model import ReferenceModel
+from .recorder import RecorderReport, SelectiveTraceRecorder
+
+__all__ = ["MonitorResult", "TraceMonitor"]
+
+_LOGGER = get_logger("analysis.monitor")
+
+
+@dataclass
+class MonitorResult:
+    """Everything produced by one monitoring session.
+
+    Attributes
+    ----------
+    decisions:
+        Per-window decisions, in stream order (reference windows excluded).
+    report:
+        Byte-accurate recording report.
+    model:
+        The reference model that was used.
+    recorded_indices:
+        Indices of the windows written to storage (includes context windows).
+    reference_window_count:
+        Number of windows consumed by the learning step.
+    detector_stats:
+        Counters from the detector (windows merged, LOF computations, ...).
+    """
+
+    decisions: list[WindowDecision]
+    report: RecorderReport
+    model: ReferenceModel
+    recorded_indices: list[int]
+    reference_window_count: int = 0
+    detector_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of monitored (non-reference) windows."""
+        return len(self.decisions)
+
+    @property
+    def n_anomalous(self) -> int:
+        """Number of windows declared anomalous."""
+        return sum(1 for decision in self.decisions if decision.anomalous)
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of monitored windows declared anomalous."""
+        if not self.decisions:
+            return 0.0
+        return self.n_anomalous / len(self.decisions)
+
+    def anomalous_windows(self) -> list[WindowDecision]:
+        """Decisions of the anomalous windows only."""
+        return [decision for decision in self.decisions if decision.anomalous]
+
+    def lof_scores(self) -> list[float | None]:
+        """LOF score per monitored window (``None`` when not computed)."""
+        return [decision.lof_score for decision in self.decisions]
+
+
+class TraceMonitor:
+    """Drives reference learning, online detection and selective recording."""
+
+    def __init__(
+        self,
+        detector_config: DetectorConfig | None = None,
+        monitor_config: MonitorConfig | None = None,
+        registry: EventTypeRegistry | None = None,
+    ) -> None:
+        self.detector_config = detector_config or DetectorConfig()
+        self.monitor_config = monitor_config or MonitorConfig()
+        self.registry = registry if registry is not None else EventTypeRegistry()
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    def learn_reference(self, windows: Iterable[TraceWindow]) -> ReferenceModel:
+        """Learn a reference model from the given windows."""
+        model = ReferenceModel(k_neighbours=self.detector_config.k_neighbours)
+        model.learn(windows, self.registry)
+        _LOGGER.info(
+            "learned reference model from %d windows (%d usable)",
+            model.n_windows_seen,
+            model.n_reference_windows,
+        )
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+    def monitor_windows(
+        self,
+        windows: Iterable[TraceWindow],
+        model: ReferenceModel,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        reference_window_count: int = 0,
+    ) -> MonitorResult:
+        """Monitor an already-windowed stream against a learned model."""
+        detector = OnlineAnomalyDetector(model, self.detector_config, self.registry)
+        recorder = SelectiveTraceRecorder(
+            context_windows=self.monitor_config.record_context_windows,
+            output_path=output_path,
+            keep_events=keep_events,
+        )
+        decisions: list[WindowDecision] = []
+        try:
+            for window in windows:
+                decision = detector.process(window)
+                window_bytes = encoded_trace_size(window.events)
+                decision = dataclasses.replace(decision, window_bytes=window_bytes)
+                decisions.append(decision)
+                recorder.observe(
+                    window, record=decision.anomalous, window_bytes=window_bytes
+                )
+        finally:
+            recorder.close()
+
+        result = MonitorResult(
+            decisions=decisions,
+            report=recorder.report(),
+            model=model,
+            recorded_indices=recorder.recorded_indices,
+            reference_window_count=reference_window_count,
+            detector_stats={
+                "windows_processed": detector.n_processed,
+                "windows_merged": detector.n_merged,
+                "lof_computations": detector.n_lof_computed,
+                "lof_computation_rate": detector.lof_computation_rate,
+            },
+        )
+        _LOGGER.info(
+            "monitoring done: %d windows, %d anomalous, reduction factor %.1f",
+            result.n_windows,
+            result.n_anomalous,
+            result.report.reduction_factor,
+        )
+        return result
+
+    def run_on_stream(
+        self,
+        stream: TraceStream,
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+    ) -> MonitorResult:
+        """Learn (if needed) and monitor a full trace stream.
+
+        When ``model`` is ``None`` the stream's first
+        ``monitor_config.reference_duration_us`` microseconds are used as the
+        reference trace; otherwise the provided (curated) model is used and
+        the whole stream is monitored.
+        """
+        window_duration = self.monitor_config.window_duration_us
+        if model is None:
+            reference_windows, live_windows = stream.split_reference(
+                self.monitor_config.reference_duration_us,
+                window_duration_us=window_duration,
+            )
+            model = self.learn_reference(reference_windows)
+            reference_count = len(reference_windows)
+        else:
+            if not model.is_fitted:
+                raise ModelError("provided reference model is not fitted")
+            live_windows = stream.windows(window_duration_us=window_duration)
+            reference_count = 0
+        return self.monitor_windows(
+            live_windows,
+            model,
+            output_path=output_path,
+            keep_events=keep_events,
+            reference_window_count=reference_count,
+        )
+
+    def run_on_events(
+        self,
+        events: Iterable[TraceEvent],
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+    ) -> MonitorResult:
+        """Convenience wrapper for plain event iterables."""
+        return self.run_on_stream(
+            TraceStream(events), model=model, output_path=output_path, keep_events=keep_events
+        )

@@ -1,0 +1,210 @@
+"""Periodicity-aware trace compaction (the paper's future-work extension).
+
+The paper's conclusion sketches a further reduction: "we are also interested
+in further reducing the recorded trace size by exploiting the periodic
+behavior of the application".  Multimedia decoding is strongly periodic (one
+frame every 40 ms, one GOP every ~0.5 s), so even the *anomalous* windows the
+monitor records tend to repeat: a perturbation lasting several seconds
+produces dozens of near-identical "decoder starved" windows.
+
+:class:`PeriodicityCompactor` implements the natural realisation of that
+idea:
+
+1. estimate the dominant period of the application from the per-window event
+   counts (autocorrelation, :func:`estimate_dominant_period`);
+2. bucket recorded windows by their phase within that period;
+3. within each phase bucket, keep the first occurrence of each behaviour as
+   an *exemplar* and replace subsequent near-duplicates (symmetrised KL to an
+   exemplar below a threshold) by a tiny reference record.
+
+The compaction is lossy only in the controlled sense that duplicated windows
+are replaced by "same as window i" markers; every distinct behaviour is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..trace.codec import encoded_trace_size
+from ..trace.event import EventTypeRegistry
+from ..trace.window import TraceWindow
+from .divergence import symmetric_kl_divergence
+from .pmf import Pmf, pmf_from_window
+
+__all__ = ["estimate_dominant_period", "PeriodicityCompactor", "CompactionReport"]
+
+#: Size in bytes of a "duplicate of window i" reference record: window index,
+#: exemplar index and timestamps, varint-encoded — 16 bytes is generous.
+_REFERENCE_RECORD_BYTES = 16
+
+
+def estimate_dominant_period(
+    values: Sequence[float],
+    min_lag: int = 2,
+    max_lag: int | None = None,
+) -> int | None:
+    """Estimate the dominant period of a signal via autocorrelation.
+
+    Parameters
+    ----------
+    values:
+        Evenly spaced samples (e.g. events per window).
+    min_lag / max_lag:
+        Search range for the period, in samples.  ``max_lag`` defaults to
+        half the signal length.
+
+    Returns
+    -------
+    int | None
+        The lag (in samples) with the highest autocorrelation peak, or
+        ``None`` when the signal is too short or has no significant
+        periodicity (autocorrelation below 0.1 everywhere).
+    """
+    signal = np.asarray(list(values), dtype=float)
+    if len(signal) < max(4, 2 * min_lag):
+        return None
+    if min_lag < 1:
+        raise ModelError("min_lag must be >= 1")
+    if max_lag is None:
+        max_lag = len(signal) // 2
+    max_lag = min(max_lag, len(signal) - 1)
+    if max_lag < min_lag:
+        return None
+
+    centred = signal - signal.mean()
+    variance = float(np.dot(centred, centred))
+    if variance <= 0:
+        return None
+    correlations = np.empty(max_lag - min_lag + 1)
+    for position, lag in enumerate(range(min_lag, max_lag + 1)):
+        correlations[position] = float(np.dot(centred[:-lag], centred[lag:])) / variance
+    best = int(np.argmax(correlations))
+    if correlations[best] < 0.1:
+        return None
+    return min_lag + best
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of a periodicity-aware compaction pass."""
+
+    input_windows: int
+    kept_windows: int
+    deduplicated_windows: int
+    input_bytes: int
+    output_bytes: int
+    period_windows: int | None
+
+    @property
+    def additional_reduction_factor(self) -> float:
+        """Extra size reduction on top of the selective recording."""
+        if self.input_bytes == 0:
+            return 1.0
+        if self.output_bytes == 0:
+            return float("inf")
+        return self.input_bytes / self.output_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form used by reports."""
+        return {
+            "input_windows": self.input_windows,
+            "kept_windows": self.kept_windows,
+            "deduplicated_windows": self.deduplicated_windows,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "period_windows": self.period_windows,
+            "additional_reduction_factor": self.additional_reduction_factor,
+        }
+
+
+@dataclass
+class _Exemplar:
+    """A kept window representative for one phase bucket."""
+
+    window_index: int
+    pmf: Pmf
+
+
+class PeriodicityCompactor:
+    """Deduplicates recorded windows that repeat the same periodic behaviour."""
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.05,
+        registry: EventTypeRegistry | None = None,
+        phase_buckets: int | None = None,
+    ) -> None:
+        if similarity_threshold < 0:
+            raise ModelError("similarity_threshold must be >= 0")
+        if phase_buckets is not None and phase_buckets < 1:
+            raise ModelError("phase_buckets must be >= 1")
+        self.similarity_threshold = float(similarity_threshold)
+        self.registry = registry if registry is not None else EventTypeRegistry()
+        self.phase_buckets = phase_buckets
+
+    def compact(
+        self,
+        recorded_windows: Iterable[TraceWindow],
+        all_window_counts: Sequence[float] | None = None,
+    ) -> tuple[list[TraceWindow], CompactionReport]:
+        """Compact ``recorded_windows``; return kept windows and the report.
+
+        ``all_window_counts`` (events per window over the *whole* run) is
+        used to estimate the dominant period; when omitted, the counts of the
+        recorded windows themselves are used, which is a weaker but still
+        serviceable estimate.
+        """
+        windows = list(recorded_windows)
+        counts_for_period = (
+            list(all_window_counts)
+            if all_window_counts is not None
+            else [len(window) for window in windows]
+        )
+        period = estimate_dominant_period(counts_for_period)
+        n_buckets = self.phase_buckets or (period if period else 1)
+
+        exemplars: dict[int, list[_Exemplar]] = {}
+        kept: list[TraceWindow] = []
+        deduplicated = 0
+        input_bytes = 0
+        output_bytes = 0
+
+        for window in windows:
+            window_bytes = encoded_trace_size(window.events)
+            input_bytes += window_bytes
+            if window.is_empty:
+                kept.append(window)
+                output_bytes += window_bytes
+                continue
+            pmf = pmf_from_window(window, self.registry)
+            phase = window.index % n_buckets if n_buckets > 1 else 0
+            bucket = exemplars.setdefault(phase, [])
+            duplicate_of = self._find_duplicate(bucket, pmf)
+            if duplicate_of is None:
+                bucket.append(_Exemplar(window_index=window.index, pmf=pmf))
+                kept.append(window)
+                output_bytes += window_bytes
+            else:
+                deduplicated += 1
+                output_bytes += _REFERENCE_RECORD_BYTES
+
+        report = CompactionReport(
+            input_windows=len(windows),
+            kept_windows=len(kept),
+            deduplicated_windows=deduplicated,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            period_windows=period,
+        )
+        return kept, report
+
+    def _find_duplicate(self, bucket: list[_Exemplar], pmf: Pmf) -> int | None:
+        for exemplar in bucket:
+            divergence = symmetric_kl_divergence(pmf, exemplar.pmf, smoothing=1e-6)
+            if divergence < self.similarity_threshold:
+                return exemplar.window_index
+        return None

@@ -1,0 +1,221 @@
+"""Probability mass functions over event types.
+
+The paper abstracts each trace window as "a vector giving for each event type
+the number of occurrences of that event type in the window" and manipulates
+the normalised form as a probability mass function.  :class:`Pmf` is that
+vector: it is tied to an :class:`~repro.trace.event.EventTypeRegistry` (which
+fixes the dimensionality and the meaning of each component), keeps the raw
+counts alongside the normalised probabilities, and supports the merge
+operation the online detector uses to track slow drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import ModelError
+from ..trace.event import EventTypeRegistry
+from ..trace.window import TraceWindow
+
+__all__ = ["Pmf", "pmf_from_window", "pmf_from_counts"]
+
+
+class Pmf:
+    """A probability mass function over the event types of a registry.
+
+    Parameters
+    ----------
+    counts:
+        Event counts per event-type code (length must equal ``len(registry)``).
+    registry:
+        The event-type registry defining the meaning of each component.
+    """
+
+    __slots__ = ("registry", "_counts")
+
+    def __init__(self, counts: np.ndarray | Iterable[float], registry: EventTypeRegistry) -> None:
+        counts = np.asarray(list(counts) if not isinstance(counts, np.ndarray) else counts,
+                            dtype=float)
+        if counts.ndim != 1:
+            raise ModelError(f"pmf counts must be one-dimensional, got shape {counts.shape}")
+        if len(counts) != len(registry):
+            raise ModelError(
+                f"pmf dimensionality {len(counts)} does not match registry size {len(registry)}"
+            )
+        if np.any(counts < 0):
+            raise ModelError("pmf counts must be non-negative")
+        self.registry = registry
+        self._counts = counts
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, registry: EventTypeRegistry) -> "Pmf":
+        """A pmf with zero counts everywhere."""
+        return cls(np.zeros(len(registry)), registry)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def counts(self) -> np.ndarray:
+        """Raw (possibly fractional after merging) counts per event type."""
+        return self._counts.copy()
+
+    @property
+    def total(self) -> float:
+        """Total number of events represented."""
+        return float(self._counts.sum())
+
+    @property
+    def dimension(self) -> int:
+        """Number of event types (components)."""
+        return len(self._counts)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the pmf represents zero events."""
+        return self.total <= 0.0
+
+    def probabilities(self, smoothing: float = 0.0) -> np.ndarray:
+        """Normalised probabilities, optionally Laplace-smoothed.
+
+        With ``smoothing > 0`` every component gets ``smoothing`` added to its
+        count before normalisation, so the result has full support — which is
+        what the Kullback-Leibler divergence needs to stay finite.
+        An empty pmf with no smoothing yields the uniform distribution.
+        """
+        if smoothing < 0:
+            raise ModelError("smoothing must be >= 0")
+        values = self._counts + smoothing
+        total = values.sum()
+        if total <= 0:
+            return np.full(self.dimension, 1.0 / self.dimension)
+        return values / total
+
+    def probability(self, etype: str, smoothing: float = 0.0) -> float:
+        """Probability of a single event type."""
+        code = self.registry.code(etype)
+        return float(self.probabilities(smoothing)[code])
+
+    def count(self, etype: str) -> float:
+        """Raw count of a single event type."""
+        return float(self._counts[self.registry.code(etype)])
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a ``name -> count`` mapping (zero entries omitted)."""
+        return {
+            self.registry.name(code): float(value)
+            for code, value in enumerate(self._counts)
+            if value > 0
+        }
+
+    def top_types(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` most frequent event types and their probabilities."""
+        probabilities = self.probabilities()
+        order = np.argsort(probabilities)[::-1][:n]
+        return [(self.registry.name(int(code)), float(probabilities[code])) for code in order]
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "Pmf", decay: float = 0.5) -> "Pmf":
+        """Blend ``other`` into this pmf (the detector's Ppmf update).
+
+        The result's probabilities are ``(1 - decay) * self + decay * other``
+        computed on the *normalised* distributions, then rescaled to the
+        average total so the merged pmf still carries a meaningful event
+        count.  ``decay = 1`` replaces this pmf entirely; small values make
+        the running estimate adapt slowly.
+        """
+        mine, theirs, registry = self._aligned_counts(other)
+        if not 0.0 < decay <= 1.0:
+            raise ModelError("decay must be in (0, 1]")
+        if self.is_empty:
+            return Pmf(theirs.copy(), registry)
+        if other.is_empty:
+            return Pmf(mine.copy(), registry)
+        blended = (1.0 - decay) * (mine / mine.sum()) + decay * (theirs / theirs.sum())
+        scale = (1.0 - decay) * self.total + decay * other.total
+        return Pmf(blended * scale, registry)
+
+    def add(self, other: "Pmf") -> "Pmf":
+        """Return the component-wise sum of the two pmfs (count addition)."""
+        mine, theirs, registry = self._aligned_counts(other)
+        return Pmf(mine + theirs, registry)
+
+    def _aligned_counts(self, other: "Pmf") -> tuple[np.ndarray, np.ndarray, EventTypeRegistry]:
+        """Return both count vectors padded to a common length.
+
+        Pmfs built on the same (possibly grown) registry may have different
+        lengths: the registry only ever appends types, so the shorter vector
+        is zero-padded.  Truly different registries are rejected.
+        """
+        longer, shorter = (self.registry, other.registry)
+        if len(other.registry) > len(self.registry):
+            longer, shorter = other.registry, self.registry
+        if longer is not shorter and longer.names[: len(shorter)] != shorter.names:
+            raise ModelError("cannot combine pmfs built on different registries")
+        size = max(self.dimension, other.dimension)
+        mine = np.pad(self._counts, (0, size - self.dimension))
+        theirs = np.pad(other._counts, (0, size - other.dimension))
+        return mine, theirs, longer
+
+    # ------------------------------------------------------------------ #
+    # Dunder conveniences
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pmf):
+            return NotImplemented
+        return (
+            self.registry.names == other.registry.names
+            and np.allclose(self._counts, other._counts)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        top = ", ".join(f"{name}={p:.2f}" for name, p in self.top_types(3))
+        return f"Pmf(total={self.total:.0f}, top=[{top}])"
+
+
+def pmf_from_window(
+    window: TraceWindow, registry: EventTypeRegistry, register_unknown: bool = True
+) -> Pmf:
+    """Compute the pmf of a trace window against ``registry``.
+
+    Event types absent from the registry are registered on the fly when
+    ``register_unknown`` is true (the monitor may legitimately encounter
+    types the reference run never produced); otherwise they raise
+    :class:`~repro.errors.ModelError`.
+
+    .. note::
+       Registering a new type grows the registry, and therefore the
+       dimensionality of *future* pmfs.  Existing pmfs keep their length;
+       the LOF model pads reference points with zeros as needed.
+    """
+    if register_unknown:
+        for event in window.events:
+            registry.register(event.etype)
+    counts = np.zeros(len(registry), dtype=float)
+    for event in window.events:
+        if event.etype not in registry:
+            raise ModelError(
+                f"event type {event.etype!r} is not in the registry and "
+                "register_unknown is disabled"
+            )
+        counts[registry.code(event.etype)] += 1.0
+    return Pmf(counts, registry)
+
+
+def pmf_from_counts(counts: Mapping[str, float], registry: EventTypeRegistry) -> Pmf:
+    """Build a pmf from a ``name -> count`` mapping (names are registered)."""
+    for name in counts:
+        registry.register(name)
+    values = np.zeros(len(registry), dtype=float)
+    for name, value in counts.items():
+        if value < 0:
+            raise ModelError(f"negative count for {name!r}: {value}")
+        values[registry.code(name)] = float(value)
+    return Pmf(values, registry)

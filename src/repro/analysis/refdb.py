@@ -1,0 +1,166 @@
+"""Curated reference-model database.
+
+The paper notes that "a curated database of reference traces can be
+constituted in order to skip the learning step": once a model of correct
+behaviour has been learned for a given application/workload combination, it
+can be stored and reused for later endurance tests.  The
+:class:`ReferenceDatabase` is that store: a directory of saved
+:class:`~repro.analysis.model.ReferenceModel` files plus a JSON catalogue
+describing each entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..errors import ModelError
+from .model import ReferenceModel
+
+__all__ = ["ReferenceDatabase", "ReferenceEntry"]
+
+_CATALOG_NAME = "catalog.json"
+
+
+@dataclass(frozen=True)
+class ReferenceEntry:
+    """Catalogue entry describing one stored reference model."""
+
+    name: str
+    filename: str
+    description: str = ""
+    tags: tuple[str, ...] = ()
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form of the entry."""
+        return {
+            "name": self.name,
+            "filename": self.filename,
+            "description": self.description,
+            "tags": list(self.tags),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReferenceEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=str(data["name"]),
+                filename=str(data["filename"]),
+                description=str(data.get("description", "")),
+                tags=tuple(str(tag) for tag in data.get("tags", [])),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except KeyError as exc:
+            raise ModelError(f"malformed reference catalogue entry: {data!r}") from exc
+
+
+class ReferenceDatabase:
+    """Directory-backed store of named reference models."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, ReferenceEntry] = {}
+        self._load_catalog()
+
+    # ------------------------------------------------------------------ #
+    # Catalogue handling
+    # ------------------------------------------------------------------ #
+    @property
+    def _catalog_path(self) -> Path:
+        return self.root / _CATALOG_NAME
+
+    def _load_catalog(self) -> None:
+        if not self._catalog_path.exists():
+            return
+        try:
+            raw = json.loads(self._catalog_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"malformed reference catalogue: {self._catalog_path}") from exc
+        for item in raw.get("entries", []):
+            entry = ReferenceEntry.from_dict(item)
+            self._entries[entry.name] = entry
+
+    def _save_catalog(self) -> None:
+        payload = {"entries": [entry.to_dict() for entry in self._entries.values()]}
+        self._catalog_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return str(name) in self._entries
+
+    def __iter__(self) -> Iterator[ReferenceEntry]:
+        return iter(self._entries.values())
+
+    def names(self) -> list[str]:
+        """Names of every stored model (sorted)."""
+        return sorted(self._entries)
+
+    def add(
+        self,
+        name: str,
+        model: ReferenceModel,
+        description: str = "",
+        tags: tuple[str, ...] = (),
+        metadata: Mapping[str, Any] | None = None,
+        overwrite: bool = False,
+    ) -> ReferenceEntry:
+        """Store ``model`` under ``name``.
+
+        Raises :class:`~repro.errors.ModelError` if the name already exists
+        and ``overwrite`` is false.
+        """
+        if not name:
+            raise ModelError("reference model name must not be empty")
+        if name in self._entries and not overwrite:
+            raise ModelError(f"reference model {name!r} already exists")
+        filename = f"{name}.npz"
+        model.save(self.root / filename)
+        entry = ReferenceEntry(
+            name=name,
+            filename=filename,
+            description=description,
+            tags=tags,
+            metadata=dict(metadata or {}),
+        )
+        self._entries[name] = entry
+        self._save_catalog()
+        return entry
+
+    def get(self, name: str) -> ReferenceModel:
+        """Load and return the model stored under ``name``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ModelError(f"no reference model named {name!r} in {self.root}")
+        return ReferenceModel.load(self.root / entry.filename)
+
+    def entry(self, name: str) -> ReferenceEntry:
+        """Return the catalogue entry for ``name``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ModelError(f"no reference model named {name!r} in {self.root}")
+        return entry
+
+    def remove(self, name: str) -> None:
+        """Delete the model stored under ``name`` (file and catalogue entry)."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise ModelError(f"no reference model named {name!r} in {self.root}")
+        model_path = self.root / entry.filename
+        if model_path.exists():
+            model_path.unlink()
+        self._save_catalog()
+
+    def find_by_tag(self, tag: str) -> list[ReferenceEntry]:
+        """Return every entry carrying ``tag``."""
+        return [entry for entry in self._entries.values() if tag in entry.tags]

@@ -1,0 +1,5 @@
+"""Command-line front-end (``repro-trace``)."""
+
+from .main import main
+
+__all__ = ["main"]

@@ -1,0 +1,281 @@
+"""``repro-trace`` command line interface.
+
+Subcommands::
+
+    repro-trace simulate   --duration 900 --output trace.jsonl [--qos qos.json]
+    repro-trace stats      trace.jsonl
+    repro-trace learn      trace.jsonl --reference-s 300 --model model.npz
+    repro-trace monitor    trace.jsonl --model model.npz --output recorded.jsonl
+    repro-trace experiment --duration 900 [--alpha 1.2] [--report report.txt]
+    repro-trace sweep      --duration 900 --alphas 1.0,1.2,1.5,2.0,3.0
+
+Every subcommand prints a plain-text report on stdout; ``--json`` switches to
+machine-readable JSON output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from ..analysis.labeling import GroundTruth
+from ..analysis.model import ReferenceModel
+from ..analysis.monitor import TraceMonitor
+from ..config import DetectorConfig, EnduranceConfig, MonitorConfig
+from ..errors import ReproError
+from ..experiments.endurance import run_endurance_experiment
+from ..experiments.report import render_alpha_sweep, render_headline
+from ..experiments.sweep import alpha_sweep
+from ..logging_util import configure_logging
+from ..media.app import EnduranceRun
+from ..trace.event import EventTypeRegistry
+from ..trace.reader import read_trace
+from ..trace.stats import summarize
+from ..trace.stream import TraceStream
+from ..trace.writer import write_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Online trace-size reduction for multimedia endurance tests",
+    )
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="simulate an endurance run")
+    simulate.add_argument("--duration", type=float, default=900.0, help="run length in seconds")
+    simulate.add_argument("--reference-s", type=float, default=300.0)
+    simulate.add_argument("--seed", type=int, default=1234)
+    simulate.add_argument("--output", type=Path, required=True, help="trace output file")
+    simulate.add_argument("--qos", type=Path, default=None, help="QoS error log output (JSON)")
+
+    stats = subparsers.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("trace", type=Path)
+
+    learn = subparsers.add_parser("learn", help="learn a reference model from a trace")
+    learn.add_argument("trace", type=Path)
+    learn.add_argument("--reference-s", type=float, default=300.0)
+    learn.add_argument("--window-ms", type=float, default=40.0)
+    learn.add_argument("--k", type=int, default=20)
+    learn.add_argument("--model", type=Path, required=True, help="output model file (.npz)")
+
+    monitor = subparsers.add_parser("monitor", help="monitor a trace with a learned model")
+    monitor.add_argument("trace", type=Path)
+    monitor.add_argument("--model", type=Path, default=None, help="reference model (.npz)")
+    monitor.add_argument("--reference-s", type=float, default=300.0)
+    monitor.add_argument("--window-ms", type=float, default=40.0)
+    monitor.add_argument("--alpha", type=float, default=1.2)
+    monitor.add_argument("--k", type=int, default=20)
+    monitor.add_argument("--output", type=Path, default=None, help="recorded trace output")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run the paper's endurance experiment end to end"
+    )
+    experiment.add_argument("--duration", type=float, default=900.0)
+    experiment.add_argument("--reference-s", type=float, default=300.0)
+    experiment.add_argument("--alpha", type=float, default=1.2)
+    experiment.add_argument("--seed", type=int, default=1234)
+    experiment.add_argument("--report", type=Path, default=None, help="write the report here")
+
+    sweep = subparsers.add_parser("sweep", help="precision/recall vs alpha (Figure 1)")
+    sweep.add_argument("--duration", type=float, default=900.0)
+    sweep.add_argument("--reference-s", type=float, default=300.0)
+    sweep.add_argument("--seed", type=int, default=1234)
+    sweep.add_argument(
+        "--alphas", type=str, default="1.0,1.1,1.2,1.3,1.5,1.75,2.0,2.5,3.0"
+    )
+    sweep.add_argument("--report", type=Path, default=None)
+    return parser
+
+
+def _emit(args: argparse.Namespace, text: str, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        print(text)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = EnduranceConfig.scaled_paper_setup(
+        duration_s=args.duration, reference_s=args.reference_s, seed=args.seed
+    )
+    trace = EnduranceRun(config).run()
+    write_trace(trace.events, args.output)
+    if args.qos is not None:
+        args.qos.parent.mkdir(parents=True, exist_ok=True)
+        args.qos.write_text(
+            json.dumps(
+                {
+                    "perturbations": [
+                        {"start_s": i.start_s, "end_s": i.end_s}
+                        for i in trace.perturbation_intervals
+                    ],
+                    "errors": [dataclasses.asdict(m) for m in trace.qos_messages],
+                },
+                indent=2,
+            )
+        )
+    payload = {
+        "n_events": trace.n_events,
+        "n_qos_errors": len(trace.qos_messages),
+        "duration_s": trace.duration_s,
+        "output": str(args.output),
+    }
+    _emit(
+        args,
+        f"simulated {trace.duration_s:.0f}s: {trace.n_events} events, "
+        f"{len(trace.qos_messages)} QoS errors -> {args.output}",
+        payload,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace)
+    statistics = summarize(events)
+    text = "\n".join(
+        [
+            f"events          : {statistics.n_events}",
+            f"duration        : {statistics.duration_s:.1f} s",
+            f"event rate      : {statistics.events_per_second:.0f} events/s",
+            f"encoded size    : {statistics.encoded_bytes} bytes",
+            f"bandwidth       : {statistics.bytes_per_second:.0f} bytes/s",
+            "top event types : "
+            + ", ".join(
+                f"{name} ({count})"
+                for name, count in sorted(
+                    statistics.type_counts.items(), key=lambda item: -item[1]
+                )[:8]
+            ),
+        ]
+    )
+    _emit(args, text, statistics.to_dict())
+    return 0
+
+
+def _monitor_configs(args: argparse.Namespace) -> tuple[DetectorConfig, MonitorConfig]:
+    detector = DetectorConfig(k_neighbours=args.k, lof_threshold=getattr(args, "alpha", 1.2))
+    monitor = MonitorConfig(
+        window_duration_us=int(args.window_ms * 1000),
+        reference_duration_us=int(args.reference_s * 1e6),
+    )
+    return detector, monitor
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace)
+    args.alpha = 1.2
+    detector_config, monitor_config = _monitor_configs(args)
+    registry = EventTypeRegistry.with_default_types()
+    monitor = TraceMonitor(detector_config, monitor_config, registry)
+    reference, _ = TraceStream(iter(events)).split_reference(
+        monitor_config.reference_duration_us, monitor_config.window_duration_us
+    )
+    model = monitor.learn_reference(reference)
+    model.save(args.model)
+    payload = {
+        "reference_windows": model.n_reference_windows,
+        "dimension": model.dimension,
+        "suggested_alpha": model.suggest_alpha(),
+        "model": str(args.model),
+    }
+    _emit(
+        args,
+        f"learned model from {model.n_reference_windows} windows "
+        f"(dimension {model.dimension}, suggested alpha "
+        f"{model.suggest_alpha():.2f}) -> {args.model}",
+        payload,
+    )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace)
+    detector_config, monitor_config = _monitor_configs(args)
+    registry = EventTypeRegistry.with_default_types()
+    monitor = TraceMonitor(detector_config, monitor_config, registry)
+    model = ReferenceModel.load(args.model) if args.model else None
+    result = monitor.run_on_stream(
+        TraceStream(iter(events)), model=model, output_path=args.output
+    )
+    report = result.report
+    payload = {
+        "windows": result.n_windows,
+        "anomalous": result.n_anomalous,
+        "recorded_bytes": report.recorded_bytes,
+        "total_bytes": report.total_bytes,
+        "reduction_factor": report.reduction_factor,
+    }
+    _emit(
+        args,
+        f"monitored {result.n_windows} windows: {result.n_anomalous} anomalous, "
+        f"{report.recorded_bytes}/{report.total_bytes} bytes recorded "
+        f"({report.reduction_factor:.1f}x reduction)",
+        payload,
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = EnduranceConfig.scaled_paper_setup(
+        duration_s=args.duration, reference_s=args.reference_s, seed=args.seed
+    )
+    config = dataclasses.replace(
+        config, detector=config.detector.with_alpha(args.alpha)
+    )
+    result = run_endurance_experiment(config)
+    text = render_headline(result.summary())
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(text + "\n")
+    _emit(args, text, result.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    alphas = [float(a) for a in args.alphas.split(",") if a.strip()]
+    config = EnduranceConfig.scaled_paper_setup(
+        duration_s=args.duration, reference_s=args.reference_s, seed=args.seed
+    )
+    result = run_endurance_experiment(config)
+    points = alpha_sweep(result, alphas)
+    text = render_alpha_sweep(points)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(text + "\n")
+    _emit(args, text, {"points": [point.to_dict() for point in points]})
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "stats": _cmd_stats,
+    "learn": _cmd_learn,
+    "monitor": _cmd_monitor,
+    "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

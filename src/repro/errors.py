@@ -1,0 +1,52 @@
+"""Exception hierarchy used across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed or inconsistent."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or byte stream could not be decoded."""
+
+
+class TraceStreamError(ReproError):
+    """A streaming operation was used incorrectly (e.g. exhausted stream)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class PipelineError(ReproError):
+    """A multimedia pipeline was assembled or driven incorrectly."""
+
+
+class ModelError(ReproError):
+    """An analysis model (reference model, LOF, detector) was misused."""
+
+
+class NotFittedError(ModelError):
+    """A model method requiring a fitted model was called before fitting."""
+
+
+class LabelingError(ReproError):
+    """Ground-truth labelling was given inconsistent intervals or windows."""
+
+
+class RecorderError(ReproError):
+    """The selective trace recorder was driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received inconsistent parameters."""

@@ -1,0 +1,41 @@
+"""Experiment drivers reproducing the paper's evaluation (Section III)."""
+
+from .endurance import (
+    EnduranceExperimentResult,
+    run_endurance_experiment,
+    run_experiment_on_trace,
+)
+from .sweep import (
+    AlphaSweepPoint,
+    SweepPoint,
+    alpha_sweep,
+    k_sweep,
+    kl_gate_sweep,
+    reference_length_sweep,
+    window_size_sweep,
+)
+from .report import (
+    ascii_line_plot,
+    format_csv,
+    format_table,
+    render_alpha_sweep,
+    render_headline,
+)
+
+__all__ = [
+    "EnduranceExperimentResult",
+    "run_endurance_experiment",
+    "run_experiment_on_trace",
+    "AlphaSweepPoint",
+    "SweepPoint",
+    "alpha_sweep",
+    "k_sweep",
+    "kl_gate_sweep",
+    "reference_length_sweep",
+    "window_size_sweep",
+    "format_table",
+    "format_csv",
+    "ascii_line_plot",
+    "render_alpha_sweep",
+    "render_headline",
+]

@@ -1,0 +1,193 @@
+"""Plain-text reporting: tables, CSV export and ASCII line plots.
+
+The benchmark harness prints the same rows/series the paper reports; since
+the environment is plotting-library-free, Figure 1 is rendered as an ASCII
+line plot plus a CSV block that can be pasted into any plotting tool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ExperimentError
+from .sweep import AlphaSweepPoint, SweepPoint
+
+__all__ = [
+    "format_table",
+    "format_csv",
+    "ascii_line_plot",
+    "render_alpha_sweep",
+    "render_headline",
+    "render_sweep",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table with a header separator line."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[column]) for column, cell in enumerate(cells))
+
+    out = [_line(headers), _line(["-" * width for width in widths])]
+    out.extend(_line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a simple CSV block (no quoting; values are numeric)."""
+    lines = [",".join(str(header) for header in headers)]
+    lines.extend(",".join(_format_cell(cell) for cell in row) for row in rows)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ascii_line_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more series as an ASCII line plot.
+
+    Each series gets its own marker character; points are plotted on a
+    ``height`` x ``width`` character grid with simple nearest-cell mapping.
+    """
+    if not x_values:
+        raise ExperimentError("cannot plot an empty series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} points but x has {len(x_values)}"
+            )
+    markers = "*o+x#@%&"
+    all_values = [value for values in series.values() for value in values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in zip(x_values, values):
+            column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - low) / (high - low) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = high - (high - low) * row_index / (height - 1)
+        lines.append(f"{y_value:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x_low:<10.2f}" + " " * max(0, width - 20) + f"{x_high:>10.2f}")
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} = {name}" for index, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def render_alpha_sweep(points: Sequence[AlphaSweepPoint]) -> str:
+    """Render the Figure 1 reproduction (precision/recall vs alpha)."""
+    if not points:
+        raise ExperimentError("no sweep points to render")
+    table = format_table(
+        ["alpha", "precision", "recall", "f1", "flagged windows", "reduction factor"],
+        [
+            [p.alpha, p.precision, p.recall, p.f1, p.n_flagged, p.reduction_factor]
+            for p in points
+        ],
+    )
+    plot = ascii_line_plot(
+        [p.alpha for p in points],
+        {
+            "precision": [p.precision for p in points],
+            "recall": [p.recall for p in points],
+        },
+        y_min=0.0,
+        y_max=1.0,
+    )
+    return (
+        "Figure 1 — precision and recall of anomaly detection vs LOF threshold\n\n"
+        + plot
+        + "\n\n"
+        + table
+    )
+
+
+def render_headline(summary: dict) -> str:
+    """Render the paper's Section III headline numbers next to ours."""
+    rows = [
+        ["precision", "78.9 %", f"{summary['precision'] * 100:.1f} %"],
+        ["recall", "76.6 %", f"{summary['recall'] * 100:.1f} %"],
+        ["full trace size", "5.9 GB", _human_bytes(summary["total_bytes"])],
+        ["recorded trace size", "418 MB", _human_bytes(summary["recorded_bytes"])],
+        [
+            "reduction factor",
+            "14x",
+            f"{summary['reduction_factor']:.1f}x",
+        ],
+    ]
+    table = format_table(["metric", "paper (6h17m real run)", "this reproduction"], rows)
+    context = (
+        f"alpha={summary['alpha']}, run={summary['duration_s']:.0f}s simulated, "
+        f"{summary['n_events']} events, {summary['n_perturbations']} perturbations, "
+        f"delta_s={summary['delta_start_s']:.1f}s, delta_e={summary['delta_end_s']:.1f}s"
+    )
+    return "Headline comparison (Section III)\n" + table + "\n" + context
+
+
+def render_sweep(title: str, points: Sequence[SweepPoint]) -> str:
+    """Render a generic ablation sweep as a table."""
+    if not points:
+        raise ExperimentError("no sweep points to render")
+    table = format_table(
+        ["parameter", "value", "precision", "recall", "f1", "reduction", "LOF rate"],
+        [
+            [
+                p.parameter,
+                p.value,
+                p.precision,
+                p.recall,
+                p.f1,
+                p.reduction_factor,
+                p.lof_computation_rate,
+            ]
+            for p in points
+        ],
+    )
+    return f"{title}\n{table}"
+
+
+def _human_bytes(n_bytes: float) -> str:
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TB"

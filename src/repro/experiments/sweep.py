@@ -1,0 +1,221 @@
+"""Parameter sweeps over the endurance experiment.
+
+``alpha_sweep`` regenerates the paper's Figure 1 (precision and recall as a
+function of the LOF threshold) from a single monitoring pass.  The other
+sweeps are the ablation studies listed in DESIGN.md: window size, number of
+LOF neighbours ``K``, the KL similarity gate and the reference length.  All
+of them reuse a single simulated trace where the parameter does not affect
+trace generation, so sweeping stays affordable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import DetectorConfig, EnduranceConfig, MonitorConfig
+from ..errors import ExperimentError
+from ..logging_util import get_logger
+from ..media.app import EnduranceRun, EnduranceTrace
+from .endurance import EnduranceExperimentResult, run_experiment_on_trace
+
+__all__ = [
+    "AlphaSweepPoint",
+    "SweepPoint",
+    "alpha_sweep",
+    "window_size_sweep",
+    "k_sweep",
+    "kl_gate_sweep",
+    "reference_length_sweep",
+]
+
+_LOGGER = get_logger("experiments.sweep")
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """One point of the precision/recall-vs-alpha curve (Figure 1)."""
+
+    alpha: float
+    precision: float
+    recall: float
+    f1: float
+    n_flagged: int
+    reduction_factor: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a generic parameter sweep."""
+
+    parameter: str
+    value: float | int | bool
+    precision: float
+    recall: float
+    f1: float
+    reduction_factor: float
+    lof_computation_rate: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return dataclasses.asdict(self)
+
+
+def alpha_sweep(
+    result: EnduranceExperimentResult,
+    alphas: Sequence[float],
+) -> list[AlphaSweepPoint]:
+    """Evaluate the experiment at every LOF threshold in ``alphas``."""
+    if not alphas:
+        raise ExperimentError("alpha_sweep needs at least one alpha value")
+    points: list[AlphaSweepPoint] = []
+    for alpha in alphas:
+        metrics = result.metrics_at(alpha)
+        n_flagged = sum(
+            1 for decision in result.decisions if decision.anomalous_at(alpha)
+        )
+        points.append(
+            AlphaSweepPoint(
+                alpha=float(alpha),
+                precision=metrics.precision,
+                recall=metrics.recall,
+                f1=metrics.f1,
+                n_flagged=n_flagged,
+                reduction_factor=metrics.reduction_factor,
+            )
+        )
+    return points
+
+
+def _simulate(config: EnduranceConfig) -> EnduranceTrace:
+    return EnduranceRun(config).run()
+
+
+def window_size_sweep(
+    config: EnduranceConfig,
+    window_durations_us: Sequence[int],
+    trace: EnduranceTrace | None = None,
+) -> list[SweepPoint]:
+    """Ablation A: effect of the window duration on detection quality.
+
+    The window size only affects the monitoring side, so a single simulated
+    trace is reused for every window duration.
+    """
+    if not window_durations_us:
+        raise ExperimentError("window_size_sweep needs at least one window duration")
+    trace = trace if trace is not None else _simulate(config)
+    points: list[SweepPoint] = []
+    for duration_us in window_durations_us:
+        monitor_config = dataclasses.replace(
+            config.monitor, window_duration_us=int(duration_us)
+        )
+        result = run_experiment_on_trace(
+            trace, config, monitor_config=monitor_config
+        )
+        points.append(_sweep_point("window_duration_us", int(duration_us), result))
+    return points
+
+
+def k_sweep(
+    config: EnduranceConfig,
+    k_values: Sequence[int],
+    trace: EnduranceTrace | None = None,
+) -> list[SweepPoint]:
+    """Ablation B: effect of the number of LOF neighbours ``K``."""
+    if not k_values:
+        raise ExperimentError("k_sweep needs at least one K value")
+    trace = trace if trace is not None else _simulate(config)
+    points: list[SweepPoint] = []
+    for k in k_values:
+        detector_config = dataclasses.replace(config.detector, k_neighbours=int(k))
+        result = run_experiment_on_trace(trace, config, detector_config=detector_config)
+        points.append(_sweep_point("k_neighbours", int(k), result))
+    return points
+
+
+def kl_gate_sweep(
+    config: EnduranceConfig,
+    kl_thresholds: Sequence[float],
+    include_disabled_gate: bool = True,
+    trace: EnduranceTrace | None = None,
+) -> list[SweepPoint]:
+    """Ablation C: effect of the KL similarity gate and its threshold.
+
+    The returned points include, when ``include_disabled_gate`` is true, a
+    final point with the gate disabled entirely (LOF computed on every
+    window) so its cost/quality trade-off is visible.
+    """
+    if not kl_thresholds and not include_disabled_gate:
+        raise ExperimentError("kl_gate_sweep needs at least one configuration")
+    trace = trace if trace is not None else _simulate(config)
+    points: list[SweepPoint] = []
+    for threshold in kl_thresholds:
+        detector_config = dataclasses.replace(
+            config.detector, kl_threshold=float(threshold), use_kl_gate=True
+        )
+        result = run_experiment_on_trace(trace, config, detector_config=detector_config)
+        points.append(_sweep_point("kl_threshold", float(threshold), result))
+    if include_disabled_gate:
+        detector_config = dataclasses.replace(config.detector, use_kl_gate=False)
+        result = run_experiment_on_trace(trace, config, detector_config=detector_config)
+        points.append(_sweep_point("kl_gate_disabled", True, result))
+    return points
+
+
+def reference_length_sweep(
+    config: EnduranceConfig,
+    reference_durations_s: Sequence[float],
+    trace: EnduranceTrace | None = None,
+) -> list[SweepPoint]:
+    """Effect of the reference-trace length on detection quality.
+
+    Every reference duration must end before the first perturbation starts,
+    otherwise the model would learn the anomalous behaviour as normal.
+    """
+    if not reference_durations_s:
+        raise ExperimentError("reference_length_sweep needs at least one duration")
+    first_perturbation_s = config.perturbation.start_offset_s
+    for duration_s in reference_durations_s:
+        if duration_s >= first_perturbation_s:
+            raise ExperimentError(
+                f"reference duration {duration_s}s overlaps the first perturbation "
+                f"at {first_perturbation_s}s"
+            )
+    trace = trace if trace is not None else _simulate(config)
+    points: list[SweepPoint] = []
+    for duration_s in reference_durations_s:
+        monitor_config = dataclasses.replace(
+            config.monitor, reference_duration_us=int(duration_s * 1e6)
+        )
+        result = run_experiment_on_trace(trace, config, monitor_config=monitor_config)
+        points.append(_sweep_point("reference_duration_s", float(duration_s), result))
+    return points
+
+
+def _sweep_point(
+    parameter: str, value: float | int | bool, result: EnduranceExperimentResult
+) -> SweepPoint:
+    _LOGGER.info(
+        "%s=%s: precision=%.3f recall=%.3f reduction=%.1fx",
+        parameter,
+        value,
+        result.metrics.precision,
+        result.metrics.recall,
+        result.monitor_result.report.reduction_factor,
+    )
+    return SweepPoint(
+        parameter=parameter,
+        value=value,
+        precision=result.metrics.precision,
+        recall=result.metrics.recall,
+        f1=result.metrics.f1,
+        reduction_factor=result.monitor_result.report.reduction_factor,
+        lof_computation_rate=result.monitor_result.detector_stats.get(
+            "lof_computation_rate", 0.0
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Small logging helpers shared by the command line tools and experiments.
+
+The library itself never configures the root logger; only the CLI entry
+points call :func:`configure_logging`.  Library modules obtain loggers via
+:func:`get_logger` so that all of them live under the ``repro`` namespace.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("analysis.monitor")`` returns the logger named
+    ``repro.analysis.monitor``.  Passing ``None`` returns the package root
+    logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the package root logger for CLI / script usage.
+
+    Parameters
+    ----------
+    verbosity:
+        ``0`` logs warnings and above, ``1`` adds informational messages and
+        ``2`` (or more) enables debug output.
+    stream:
+        Target stream; defaults to ``sys.stderr``.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    # Replace previous handlers so repeated CLI invocations in the same
+    # process (e.g. tests) do not duplicate output.
+    logger.handlers = [handler]
+    logger.propagate = False
+    return logger

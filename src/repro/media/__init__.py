@@ -1,0 +1,45 @@
+"""Multimedia application substrate.
+
+This subpackage models the application the paper monitors — a GStreamer-like
+video decoding pipeline — on top of the :mod:`repro.platform` simulator:
+
+* :mod:`~repro.media.workload` describes the video being decoded (frame
+  types, per-frame decode cost, audio chunks);
+* :mod:`~repro.media.elements` implements the pipeline elements (demuxer,
+  video/audio decoders, converter, display sink);
+* :mod:`~repro.media.bufferqueue` is the jitter-absorbing frame queue whose
+  draining delays the observable impact of perturbations (the paper's
+  Δs / Δe);
+* :mod:`~repro.media.qos` collects the QoS error messages used as ground
+  truth;
+* :mod:`~repro.media.perturbation` injects the competing CPU load;
+* :mod:`~repro.media.app` assembles everything into an endurance run that
+  produces the trace consumed by the online monitor.
+"""
+
+from .workload import FrameKind, FrameDescriptor, VideoWorkload
+from .bufferqueue import FrameBuffer
+from .qos import QosMessage, QosMonitor
+from .perturbation import PerturbationInjector, PerturbationInterval
+from .elements import Demuxer, VideoDecoder, AudioDecoder, Converter, DisplaySink
+from .pipeline import MediaPipeline
+from .app import EnduranceRun, EnduranceTrace
+
+__all__ = [
+    "FrameKind",
+    "FrameDescriptor",
+    "VideoWorkload",
+    "FrameBuffer",
+    "QosMessage",
+    "QosMonitor",
+    "PerturbationInjector",
+    "PerturbationInterval",
+    "Demuxer",
+    "VideoDecoder",
+    "AudioDecoder",
+    "Converter",
+    "DisplaySink",
+    "MediaPipeline",
+    "EnduranceRun",
+    "EnduranceTrace",
+]

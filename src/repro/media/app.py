@@ -1,0 +1,170 @@
+"""Endurance-test run: platform + pipeline + perturbations, end to end.
+
+:class:`EnduranceRun` is the simulated counterpart of the paper's
+experimental setup (GStreamer decoding a long video on one core while a
+heavy application perturbs it every few minutes).  Running it produces an
+:class:`EnduranceTrace`: the full event trace, the QoS error messages and
+the ground-truth perturbation intervals, i.e. everything the monitoring and
+evaluation layers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import EnduranceConfig
+from ..errors import SimulationError
+from ..logging_util import get_logger
+from ..platform.cpu import Core
+from ..platform.interrupt import TimerInterruptSource
+from ..platform.memory import MemoryModel
+from ..platform.scheduler import RoundRobinScheduler
+from ..platform.simulator import Simulator
+from ..platform.tracer import HardwareTracer
+from ..trace.event import APPLICATION_SCOPE_TYPES, TraceEvent
+from ..trace.stream import TraceStream
+from .perturbation import PerturbationInjector, PerturbationInterval
+from .pipeline import MediaPipeline
+from .qos import QosMessage
+
+__all__ = ["EnduranceRun", "EnduranceTrace"]
+
+_LOGGER = get_logger("media.app")
+
+
+@dataclass
+class EnduranceTrace:
+    """Everything produced by one endurance run.
+
+    Attributes
+    ----------
+    events:
+        Full, timestamp-ordered trace of the run.
+    qos_messages:
+        QoS error messages reported by the pipeline (ground truth, in the
+        same role as GStreamer's error log in the paper).
+    perturbation_intervals:
+        Ground-truth perturbation intervals.
+    duration_us:
+        Simulated duration of the run.
+    frames_displayed / frames_dropped:
+        Playback outcome counters (diagnostics for reports).
+    """
+
+    events: list[TraceEvent]
+    qos_messages: list[QosMessage]
+    perturbation_intervals: list[PerturbationInterval]
+    duration_us: int
+    frames_displayed: int = 0
+    frames_dropped: int = 0
+    scheduler_jobs: int = 0
+    core_utilisation: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def n_events(self) -> int:
+        """Number of trace events."""
+        return len(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated duration in seconds."""
+        return self.duration_us / 1e6
+
+    def stream(self) -> TraceStream:
+        """Wrap the events in a fresh single-pass :class:`TraceStream`."""
+        return TraceStream(iter(self.events))
+
+    def qos_timestamps_us(self) -> list[int]:
+        """Timestamps of every QoS error message."""
+        return [message.timestamp_us for message in self.qos_messages]
+
+
+class EnduranceRun:
+    """Builds and executes one simulated endurance test."""
+
+    def __init__(self, config: EnduranceConfig) -> None:
+        self.config = config
+        self.simulator = Simulator()
+        event_filter = (
+            APPLICATION_SCOPE_TYPES
+            if config.platform.trace_scope == "application"
+            else None
+        )
+        self.tracer = HardwareTracer(
+            buffer_events=config.platform.trace_buffer_events,
+            event_filter=event_filter,
+        )
+        self.cores = [
+            Core(index=i, frequency_mhz=config.platform.core_frequency_mhz)
+            for i in range(config.platform.n_cores)
+        ]
+        self.memory = MemoryModel()
+        self.scheduler = RoundRobinScheduler(
+            self.simulator,
+            self.cores,
+            self.tracer,
+            memory=self.memory,
+            quantum_us=config.platform.scheduler_quantum_us,
+            context_switch_cost_us=config.platform.context_switch_cost_us,
+        )
+        self.pipeline = MediaPipeline.build(
+            self.simulator, self.scheduler, self.tracer, config.media
+        )
+        self.timer = TimerInterruptSource(self.simulator, self.tracer)
+        self.injector = PerturbationInjector(
+            self.simulator,
+            self.scheduler,
+            self.tracer,
+            config.perturbation,
+            run_duration_s=config.media.duration_s,
+        )
+        self._executed = False
+
+    @property
+    def duration_us(self) -> int:
+        """Planned duration of the run in microseconds."""
+        return int(self.config.media.duration_s * 1e6)
+
+    def run(self) -> EnduranceTrace:
+        """Execute the simulation and return the resulting trace bundle."""
+        if self._executed:
+            raise SimulationError("an EnduranceRun can only be executed once")
+        self._executed = True
+
+        until_us = self.duration_us
+        _LOGGER.info(
+            "starting endurance run: %.0f s of media, %d perturbations",
+            self.config.media.duration_s,
+            len(self.injector.intervals),
+        )
+        self.timer.start(until_us)
+        self.pipeline.start(until_us)
+        self.injector.start()
+        self.simulator.run(until_us=until_us)
+
+        trace = EnduranceTrace(
+            events=self.tracer.events(),
+            qos_messages=self.pipeline.qos.messages(),
+            perturbation_intervals=list(self.injector.intervals),
+            duration_us=until_us,
+            frames_displayed=self.pipeline.frames_displayed(),
+            frames_dropped=self.pipeline.frames_dropped(),
+            scheduler_jobs=self.scheduler.completed_jobs,
+            core_utilisation={
+                core.index: core.utilisation(until_us) for core in self.cores
+            },
+        )
+        _LOGGER.info(
+            "endurance run finished: %d events, %d QoS errors, %d/%d frames displayed",
+            trace.n_events,
+            len(trace.qos_messages),
+            trace.frames_displayed,
+            trace.frames_displayed + trace.frames_dropped,
+        )
+        return trace
+
+
+def run_endurance_test(config: EnduranceConfig) -> EnduranceTrace:
+    """Convenience wrapper: build an :class:`EnduranceRun` and execute it."""
+    return EnduranceRun(config).run()

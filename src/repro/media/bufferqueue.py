@@ -1,0 +1,131 @@
+"""Bounded frame buffer between the decoding stages and the display sink.
+
+The buffer is the mechanism behind the paper's Δs / Δe delays: when a
+perturbation slows the decoder down, the sink keeps displaying buffered
+frames for a while before underruns (and hence QoS errors) become visible,
+and conversely the impact persists slightly after the perturbation ends
+until the decoder has refilled the queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..errors import PipelineError
+from ..trace.event import EventType
+from ..platform.tracer import HardwareTracer
+from .workload import FrameDescriptor
+
+__all__ = ["FrameBuffer"]
+
+
+class FrameBuffer:
+    """Bounded FIFO of decoded frames awaiting display.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of decoded frames held (25 frames ≈ 1 s at 25 fps,
+        matching a typical GStreamer queue element).
+    tracer:
+        Tracer used to emit ``buffer_push`` / ``buffer_pop`` /
+        ``buffer_level`` / ``buffer_underrun`` / ``buffer_overrun`` events.
+    core:
+        Core index recorded on buffer events.
+    """
+
+    def __init__(self, capacity: int, tracer: HardwareTracer, core: int = 0) -> None:
+        if capacity <= 0:
+            raise PipelineError("buffer capacity must be positive")
+        self.capacity = int(capacity)
+        self.tracer = tracer
+        self.core = int(core)
+        self._frames: Deque[FrameDescriptor] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.underruns = 0
+        self.overruns = 0
+        self.peak_level = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def level(self) -> int:
+        """Number of frames currently buffered."""
+        return len(self._frames)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has reached its capacity."""
+        return len(self._frames) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no decoded frame is available."""
+        return not self._frames
+
+    def fill_fraction(self) -> float:
+        """Occupancy as a fraction of capacity."""
+        return len(self._frames) / self.capacity
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def push(self, frame: FrameDescriptor, timestamp_us: int, task: str = "converter") -> bool:
+        """Add a decoded frame; return ``False`` (and trace an overrun) if full."""
+        if self.is_full:
+            self.overruns += 1
+            self.tracer.emit(
+                timestamp_us,
+                EventType.BUFFER_OVERRUN,
+                core=self.core,
+                task=task,
+                args={"frame": frame.index, "level": self.level},
+            )
+            return False
+        self._frames.append(frame)
+        self.pushes += 1
+        self.peak_level = max(self.peak_level, self.level)
+        self.tracer.emit(
+            timestamp_us,
+            EventType.BUFFER_PUSH,
+            core=self.core,
+            task=task,
+            args={"frame": frame.index, "level": self.level},
+        )
+        return True
+
+    def pop(self, timestamp_us: int, task: str = "sink") -> FrameDescriptor | None:
+        """Remove the oldest frame; return ``None`` (and trace an underrun) if empty."""
+        if self.is_empty:
+            self.underruns += 1
+            self.tracer.emit(
+                timestamp_us,
+                EventType.BUFFER_UNDERRUN,
+                core=self.core,
+                task=task,
+                args={"level": 0},
+            )
+            return None
+        frame = self._frames.popleft()
+        self.pops += 1
+        self.tracer.emit(
+            timestamp_us,
+            EventType.BUFFER_POP,
+            core=self.core,
+            task=task,
+            args={"frame": frame.index, "level": self.level},
+        )
+        return frame
+
+    def emit_level(self, timestamp_us: int, task: str = "queue") -> None:
+        """Emit a periodic ``buffer_level`` sample event."""
+        self.tracer.emit(
+            timestamp_us,
+            EventType.BUFFER_LEVEL,
+            core=self.core,
+            task=task,
+            args={"level": self.level, "capacity": self.capacity},
+        )

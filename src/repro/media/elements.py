@@ -1,0 +1,450 @@
+"""Pipeline elements: demuxer, decoders, converter and display sink.
+
+The element graph mirrors a typical GStreamer playback pipeline::
+
+    demuxer ──▶ video decoder ──▶ converter ──▶ frame buffer ──▶ display sink
+        └─────▶ audio decoder (lightweight, event-only)
+
+Every element emits trace events through the platform tracer and the
+CPU-hungry ones (video decoder, converter) execute their work as scheduler
+jobs, so competing load slows them down realistically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..trace.event import EventType
+from ..platform.scheduler import RoundRobinScheduler
+from ..platform.simulator import Simulator
+from ..platform.task import Task
+from ..platform.tracer import HardwareTracer
+from .bufferqueue import FrameBuffer
+from .qos import QosMonitor
+from .workload import FrameDescriptor, VideoWorkload
+
+__all__ = ["Demuxer", "VideoDecoder", "AudioDecoder", "Converter", "DisplaySink"]
+
+
+class Demuxer:
+    """Reads the container and hands compressed frames to the video decoder.
+
+    The demuxer runs ahead of playback but is gated by the downstream buffer:
+    it only emits a new packet while the number of frames "in flight"
+    (demuxed but not yet displayed) is below the buffer capacity, like a
+    queue-limited GStreamer pipeline.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        tracer: HardwareTracer,
+        workload: VideoWorkload,
+        buffer: FrameBuffer,
+        core: int = 0,
+        seed: int = 7,
+    ) -> None:
+        self.simulator = simulator
+        self.tracer = tracer
+        self.workload = workload
+        self.buffer = buffer
+        self.core = core
+        self.next_frame_index = 0
+        self.displayed_or_dropped = 0
+        self.on_packet: Callable[[FrameDescriptor], None] | None = None
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def in_flight(self) -> int:
+        """Frames demuxed but not yet displayed or dropped."""
+        return self.next_frame_index - self.displayed_or_dropped
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every frame of the workload has been demuxed."""
+        return self.next_frame_index >= self.workload.n_frames
+
+    def frame_consumed(self) -> None:
+        """Notify the demuxer that the sink displayed or dropped one frame."""
+        self.displayed_or_dropped += 1
+        self.pump()
+
+    def pump(self) -> None:
+        """Emit packets while the pipeline has room for more frames."""
+        if self.on_packet is None:
+            raise PipelineError("demuxer is not connected to a decoder")
+        while not self.exhausted and self.in_flight < self.buffer.capacity:
+            frame = self.workload.frame(self.next_frame_index)
+            self.next_frame_index += 1
+            now = self.simulator.now_us
+            self.tracer.emit(
+                now,
+                EventType.SYSCALL_ENTER,
+                core=self.core,
+                task="demuxer",
+                args={"syscall": "read"},
+            )
+            self.tracer.emit(
+                now,
+                EventType.DEMUX_PACKET,
+                core=self.core,
+                task="demuxer",
+                args={"frame": frame.index, "kind": str(frame.kind), "bytes": frame.size_bytes},
+            )
+            # Reading the compressed frame from storage triggers DMA traffic
+            # and, now and then, a page fault on the mapped file.
+            self.tracer.emit(
+                now,
+                EventType.DMA_TRANSFER,
+                core=self.core,
+                task="demuxer",
+                args={"bytes": frame.size_bytes, "direction": "storage"},
+            )
+            if self._rng.random() < 0.15:
+                self.tracer.emit(
+                    now,
+                    EventType.PAGE_FAULT,
+                    core=self.core,
+                    task="demuxer",
+                    args={"frame": frame.index},
+                )
+            self.tracer.emit(
+                now,
+                EventType.SYSCALL_EXIT,
+                core=self.core,
+                task="demuxer",
+                args={"syscall": "read"},
+            )
+            self.on_packet(frame)
+
+
+class VideoDecoder:
+    """Decodes compressed frames one at a time on the CPU.
+
+    Besides the ``frame_decode_start`` / ``frame_decode_end`` markers the
+    decoder emits the fine-grained activity a real tracing infrastructure
+    sees: bitstream cache misses at the start of a frame and one
+    ``mb_row_decode`` event per macroblock row when the frame completes.
+    The macroblock-row count scales with the frame kind and size, which is
+    what gives each window a distinctive (but jittered) event mix.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        scheduler: RoundRobinScheduler,
+        tracer: HardwareTracer,
+        core: int = 0,
+        priority: int = 0,
+        seed: int = 11,
+    ) -> None:
+        self.simulator = simulator
+        self.scheduler = scheduler
+        self.tracer = tracer
+        self.core = core
+        self.task = Task(name="video-decoder", priority=priority)
+        self._pending: Deque[FrameDescriptor] = deque()
+        self._busy = False
+        self.frames_decoded = 0
+        self.on_decoded: Callable[[FrameDescriptor], None] | None = None
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of packets waiting to be decoded."""
+        return len(self._pending)
+
+    def accept(self, frame: FrameDescriptor) -> None:
+        """Queue a compressed frame for decoding."""
+        self._pending.append(frame)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._pending:
+            return
+        frame = self._pending.popleft()
+        self._busy = True
+        now = self.simulator.now_us
+        self.tracer.emit(
+            now,
+            EventType.FRAME_DECODE_START,
+            core=self.core,
+            task=self.task.name,
+            args={"frame": frame.index, "kind": str(frame.kind)},
+        )
+        # Fetching the bitstream misses in the cache a few times; the miss
+        # count grows with the compressed frame size.
+        n_misses = int(self._rng.poisson(2.0 + frame.size_bytes / 20_000.0))
+        for _ in range(n_misses):
+            self.tracer.emit(
+                now,
+                EventType.CACHE_MISS,
+                core=self.core,
+                task=self.task.name,
+                args={"frame": frame.index},
+            )
+        self.scheduler.submit_work(
+            self.task,
+            frame.decode_cost_us,
+            on_complete=lambda end_us, frame=frame: self._decoded(frame, end_us),
+        )
+
+    def _mb_rows_for(self, frame: FrameDescriptor) -> int:
+        base = {"I": 14.0, "P": 10.0, "B": 8.0}.get(str(frame.kind), 10.0)
+        return max(1, int(self._rng.normal(loc=base, scale=1.5)))
+
+    def _decoded(self, frame: FrameDescriptor, end_us: int) -> None:
+        if self.on_decoded is None:
+            raise PipelineError("video decoder is not connected to a converter")
+        self.frames_decoded += 1
+        for row in range(self._mb_rows_for(frame)):
+            self.tracer.emit(
+                end_us,
+                EventType.MB_ROW_DECODE,
+                core=self.core,
+                task=self.task.name,
+                args={"frame": frame.index, "row": row},
+            )
+        self.tracer.emit(
+            end_us,
+            EventType.FRAME_DECODE_END,
+            core=self.core,
+            task=self.task.name,
+            args={"frame": frame.index, "kind": str(frame.kind)},
+        )
+        self._busy = False
+        self.on_decoded(frame)
+        self._maybe_start()
+
+
+class Converter:
+    """Colour-space conversion stage between the decoder and the buffer."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        scheduler: RoundRobinScheduler,
+        tracer: HardwareTracer,
+        buffer: FrameBuffer,
+        core: int = 0,
+        priority: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.scheduler = scheduler
+        self.tracer = tracer
+        self.buffer = buffer
+        self.core = core
+        self.task = Task(name="converter", priority=priority)
+        self.frames_converted = 0
+        self.frames_lost_to_overrun = 0
+
+    def accept(self, frame: FrameDescriptor) -> None:
+        """Convert ``frame`` then push it into the display buffer."""
+        self.scheduler.submit_work(
+            self.task,
+            frame.convert_cost_us,
+            on_complete=lambda end_us, frame=frame: self._converted(frame, end_us),
+        )
+
+    def _converted(self, frame: FrameDescriptor, end_us: int) -> None:
+        self.frames_converted += 1
+        self.tracer.emit(
+            end_us,
+            EventType.FRAME_CONVERT,
+            core=self.core,
+            task=self.task.name,
+            args={"frame": frame.index},
+        )
+        if not self.buffer.push(frame, end_us, task=self.task.name):
+            self.frames_lost_to_overrun += 1
+
+
+class AudioDecoder:
+    """Lightweight audio decoding stage.
+
+    Audio decoding is cheap compared to video; it is modelled as a steady
+    stream of ``audio_decode`` events (no scheduler jobs) so that every trace
+    window contains a baseline of application activity even when the video
+    path stalls — exactly like the audio thread of a real player.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        tracer: HardwareTracer,
+        workload: VideoWorkload,
+        core: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.tracer = tracer
+        self.workload = workload
+        self.core = core
+        self.chunks_decoded = 0
+
+    def start(self, until_us: int) -> None:
+        """Schedule periodic audio chunk decoding until ``until_us``."""
+        period_us = max(1, int(round(self.workload.audio_chunk_period_us())))
+        self.simulator.schedule_periodic(
+            period_us, self._chunk, start_us=self.simulator.now_us + period_us,
+            until_us=until_us,
+        )
+
+    def _chunk(self) -> None:
+        self.chunks_decoded += 1
+        now = self.simulator.now_us
+        self.tracer.emit(
+            now,
+            EventType.AUDIO_DECODE,
+            core=self.core,
+            task="audio-decoder",
+            args={"chunk": self.chunks_decoded},
+        )
+        # Every fourth chunk flushes the decoded samples to the audio device.
+        if self.chunks_decoded % 4 == 0:
+            self.tracer.emit(
+                now,
+                EventType.DMA_TRANSFER,
+                core=self.core,
+                task="audio-decoder",
+                args={"bytes": 4096, "direction": "audio"},
+            )
+
+
+class DisplaySink:
+    """Displays frames at the nominal frame rate and reports QoS violations.
+
+    Every frame period the sink pops the oldest decoded frame:
+
+    * no frame available → ``buffer_underrun`` + QoS ``underrun`` error;
+    * frame later than ``resync_threshold_periods`` → the playback clock is
+      rebased on the frame (``resync`` QoS error), the way a player resets
+      A/V sync after a long stall;
+    * frame older than ``drop_threshold_periods`` → the frame is dropped
+      (``frame_drop`` + QoS ``frame_drop``) and the sink tries the next one,
+      up to ``max_catchup_drops`` per tick — this is the GStreamer QoS
+      mechanism that re-synchronises playback after a stall;
+    * otherwise the frame is displayed (``frame_display`` + a ``dma_transfer``
+      for the scan-out) and, if it is more than one period late, a
+      ``late_frame`` QoS error is reported.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        tracer: HardwareTracer,
+        buffer: FrameBuffer,
+        qos: QosMonitor,
+        workload: VideoWorkload,
+        core: int = 0,
+        drop_threshold_periods: float = 1.0,
+        max_catchup_drops: int = 3,
+        resync_threshold_periods: float = 12.0,
+    ) -> None:
+        if drop_threshold_periods <= 0:
+            raise PipelineError("drop_threshold_periods must be positive")
+        if max_catchup_drops < 0:
+            raise PipelineError("max_catchup_drops must be >= 0")
+        if resync_threshold_periods <= drop_threshold_periods:
+            raise PipelineError(
+                "resync_threshold_periods must be larger than drop_threshold_periods"
+            )
+        self.simulator = simulator
+        self.tracer = tracer
+        self.buffer = buffer
+        self.qos = qos
+        self.workload = workload
+        self.core = core
+        self.drop_threshold_us = drop_threshold_periods * workload.frame_period_us
+        self.max_catchup_drops = int(max_catchup_drops)
+        self.resync_threshold_us = resync_threshold_periods * workload.frame_period_us
+        self.frames_displayed = 0
+        self.frames_dropped = 0
+        self.underrun_ticks = 0
+        self.resyncs = 0
+        self.on_frame_consumed: Callable[[], None] | None = None
+        self._playback_offset_us: float | None = None
+
+    def start(self, until_us: int) -> None:
+        """Schedule display ticks at the nominal frame rate until ``until_us``."""
+        period_us = max(1, int(round(self.workload.frame_period_us)))
+        self.simulator.schedule_periodic(
+            period_us, self._tick, start_us=self.simulator.now_us + period_us,
+            until_us=until_us,
+        )
+
+    def _consumed(self) -> None:
+        if self.on_frame_consumed is not None:
+            self.on_frame_consumed()
+
+    def _lateness(self, frame: FrameDescriptor, now: int) -> float:
+        # Playback clock starts when the first frame is displayed, so the
+        # pipeline fill time does not count as lateness.
+        if self._playback_offset_us is None:
+            self._playback_offset_us = now - frame.presentation_us
+        return (now - self._playback_offset_us) - frame.presentation_us
+
+    def _tick(self) -> None:
+        now = self.simulator.now_us
+        self.tracer.emit(now, EventType.VSYNC, core=self.core, task="sink", args={})
+        drops_this_tick = 0
+        while True:
+            frame = self.buffer.pop(now, task="sink")
+            if frame is None:
+                self.underrun_ticks += 1
+                self.qos.report(now, "underrun", frame_index=-1, task="sink")
+                self.buffer.emit_level(now)
+                return
+            lateness = self._lateness(frame, now)
+            if lateness > self.resync_threshold_us:
+                # Long stall: rebase the playback clock on this frame, like a
+                # player re-synchronising after buffering.
+                self.resyncs += 1
+                self._playback_offset_us = now - frame.presentation_us
+                self.qos.report(
+                    now, "resync", frame_index=frame.index, lateness_us=lateness,
+                    task="sink",
+                )
+                lateness = 0.0
+            if lateness > self.drop_threshold_us and drops_this_tick < self.max_catchup_drops:
+                drops_this_tick += 1
+                self.frames_dropped += 1
+                self.tracer.emit(
+                    now,
+                    EventType.FRAME_DROP,
+                    core=self.core,
+                    task="sink",
+                    args={"frame": frame.index, "lateness_us": round(lateness, 1)},
+                )
+                self.qos.report(
+                    now, "frame_drop", frame_index=frame.index, lateness_us=lateness,
+                    task="sink",
+                )
+                self._consumed()
+                continue
+            self.frames_displayed += 1
+            self.tracer.emit(
+                now,
+                EventType.FRAME_DISPLAY,
+                core=self.core,
+                task="sink",
+                args={"frame": frame.index},
+            )
+            self.tracer.emit(
+                now,
+                EventType.DMA_TRANSFER,
+                core=self.core,
+                task="sink",
+                args={"bytes": frame.size_bytes, "direction": "scanout"},
+            )
+            if lateness > self.workload.frame_period_us:
+                self.qos.report(
+                    now, "late_frame", frame_index=frame.index, lateness_us=lateness,
+                    task="sink",
+                )
+            self.buffer.emit_level(now)
+            self._consumed()
+            return

@@ -1,0 +1,150 @@
+"""Perturbation injection.
+
+The paper perturbs the system every 3 minutes for 20 seconds with a "heavy
+processing application".  The simulated equivalent spawns one or more
+CPU-bound hog tasks that continuously submit work to the scheduler during
+each perturbation interval, stealing CPU time (and adding memory contention)
+from the decoder — which is what eventually produces buffer underruns and
+QoS errors downstream.
+
+The injector also returns the exact list of perturbation intervals, which is
+the first half of the ground truth used for labelling (the second half being
+the QoS error messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PerturbationConfig
+from ..errors import SimulationError
+from ..trace.event import EventType
+from ..platform.scheduler import RoundRobinScheduler
+from ..platform.simulator import Simulator
+from ..platform.task import Task
+from ..platform.tracer import HardwareTracer
+
+__all__ = ["PerturbationInterval", "PerturbationInjector"]
+
+#: Service time of one hog job; small enough that hogs stop promptly at the
+#: end of an interval, large enough to keep scheduling overhead reasonable.
+_HOG_JOB_US = 8_000
+
+
+@dataclass(frozen=True)
+class PerturbationInterval:
+    """One perturbation interval, in seconds since the start of the run."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise SimulationError(
+                f"perturbation interval ends before it starts: {self}"
+            )
+
+    @property
+    def start_us(self) -> int:
+        """Interval start in microseconds."""
+        return int(self.start_s * 1e6)
+
+    @property
+    def end_us(self) -> int:
+        """Interval end in microseconds."""
+        return int(self.end_s * 1e6)
+
+    @property
+    def duration_s(self) -> float:
+        """Interval length in seconds."""
+        return self.end_s - self.start_s
+
+    def contains(self, timestamp_us: float) -> bool:
+        """Whether ``timestamp_us`` falls inside the interval."""
+        return self.start_us <= timestamp_us < self.end_us
+
+
+def plan_intervals(
+    config: PerturbationConfig, run_duration_s: float
+) -> list[PerturbationInterval]:
+    """Compute the perturbation intervals for a run of ``run_duration_s``.
+
+    Intervals start at ``start_offset_s`` and repeat every ``period_s``;
+    optional uniform jitter shifts each start.  Intervals that would extend
+    past the end of the run are discarded (a truncated perturbation would
+    bias the ground-truth delays).
+    """
+    if run_duration_s <= 0:
+        raise SimulationError("run_duration_s must be positive")
+    rng = np.random.default_rng(config.seed)
+    intervals: list[PerturbationInterval] = []
+    start = config.start_offset_s
+    while True:
+        jitter = rng.uniform(-config.jitter_s, config.jitter_s) if config.jitter_s else 0.0
+        begin = max(0.0, start + jitter)
+        end = begin + config.duration_s
+        if end >= run_duration_s:
+            break
+        intervals.append(PerturbationInterval(begin, end))
+        start += config.period_s
+    return intervals
+
+
+class PerturbationInjector:
+    """Schedules CPU-hog activity during the configured intervals."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        scheduler: RoundRobinScheduler,
+        tracer: HardwareTracer,
+        config: PerturbationConfig,
+        run_duration_s: float,
+    ) -> None:
+        self.simulator = simulator
+        self.scheduler = scheduler
+        self.tracer = tracer
+        self.config = config
+        self.intervals = plan_intervals(config, run_duration_s)
+        self._n_hogs = max(1, int(round(config.load_factor)))
+        self._hog_tasks = [
+            Task(name=f"cpu-hog-{index}", priority=0) for index in range(self._n_hogs)
+        ]
+        self.jobs_injected = 0
+
+    def start(self) -> None:
+        """Schedule the start of every perturbation interval."""
+        for interval in self.intervals:
+            self.simulator.schedule_at(
+                interval.start_us, lambda interval=interval: self._begin(interval)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Internal machinery
+    # ------------------------------------------------------------------ #
+    def _begin(self, interval: PerturbationInterval) -> None:
+        now = self.simulator.now_us
+        self.tracer.emit(
+            now,
+            EventType.LOAD_BURST,
+            task="cpu-hog",
+            args={"until_us": interval.end_us, "hogs": self._n_hogs},
+        )
+        for task in self._hog_tasks:
+            self._submit_hog_job(task, interval)
+
+    def _submit_hog_job(self, task: Task, interval: PerturbationInterval) -> None:
+        now = self.simulator.now_us
+        if now >= interval.end_us:
+            self.tracer.emit(now, EventType.LOAD_DONE, task=task.name, args={})
+            return
+        self.jobs_injected += 1
+        self.scheduler.submit_work(
+            task,
+            _HOG_JOB_US,
+            on_complete=lambda _t, task=task, interval=interval: self._submit_hog_job(
+                task, interval
+            ),
+        )

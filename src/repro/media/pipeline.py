@@ -1,0 +1,95 @@
+"""Assembly of the multimedia pipeline on top of the platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MediaConfig
+from ..errors import PipelineError
+from ..platform.scheduler import RoundRobinScheduler
+from ..platform.simulator import Simulator
+from ..platform.tracer import HardwareTracer
+from .bufferqueue import FrameBuffer
+from .elements import AudioDecoder, Converter, Demuxer, DisplaySink, VideoDecoder
+from .qos import QosMonitor
+from .workload import VideoWorkload
+
+__all__ = ["MediaPipeline"]
+
+
+@dataclass
+class MediaPipeline:
+    """A fully wired playback pipeline.
+
+    The pipeline owns the workload, the frame buffer, the QoS monitor and all
+    the elements; :meth:`start` primes the demuxer and schedules the periodic
+    sources (display ticks, audio chunks).
+    """
+
+    workload: VideoWorkload
+    buffer: FrameBuffer
+    qos: QosMonitor
+    demuxer: Demuxer
+    video_decoder: VideoDecoder
+    audio_decoder: AudioDecoder
+    converter: Converter
+    sink: DisplaySink
+
+    @classmethod
+    def build(
+        cls,
+        simulator: Simulator,
+        scheduler: RoundRobinScheduler,
+        tracer: HardwareTracer,
+        media_config: MediaConfig,
+        core: int = 0,
+    ) -> "MediaPipeline":
+        """Construct and wire every element of the pipeline."""
+        workload = VideoWorkload(media_config)
+        buffer = FrameBuffer(media_config.buffer_capacity_frames, tracer, core=core)
+        qos = QosMonitor(
+            tracer, core=core, mirror_to_trace=media_config.qos_errors_in_trace
+        )
+        demuxer = Demuxer(simulator, tracer, workload, buffer, core=core)
+        video_decoder = VideoDecoder(simulator, scheduler, tracer, core=core)
+        converter = Converter(simulator, scheduler, tracer, buffer, core=core)
+        audio_decoder = AudioDecoder(simulator, tracer, workload, core=core)
+        sink = DisplaySink(simulator, tracer, buffer, qos, workload, core=core)
+
+        demuxer.on_packet = video_decoder.accept
+        video_decoder.on_decoded = converter.accept
+        sink.on_frame_consumed = demuxer.frame_consumed
+
+        return cls(
+            workload=workload,
+            buffer=buffer,
+            qos=qos,
+            demuxer=demuxer,
+            video_decoder=video_decoder,
+            audio_decoder=audio_decoder,
+            converter=converter,
+            sink=sink,
+        )
+
+    def start(self, until_us: int) -> None:
+        """Prime the pipeline and schedule its periodic activity."""
+        if until_us <= 0:
+            raise PipelineError("until_us must be positive")
+        self.demuxer.pump()
+        self.sink.start(until_us)
+        self.audio_decoder.start(until_us)
+
+    # ------------------------------------------------------------------ #
+    # Summary accessors used by reports and tests
+    # ------------------------------------------------------------------ #
+    def frames_displayed(self) -> int:
+        """Number of frames displayed on time (or late but not dropped)."""
+        return self.sink.frames_displayed
+
+    def frames_dropped(self) -> int:
+        """Number of frames dropped by the QoS catch-up mechanism."""
+        return self.sink.frames_dropped
+
+    def qos_error_count(self) -> int:
+        """Total number of QoS error messages reported."""
+        return self.qos.n_messages

@@ -1,0 +1,137 @@
+"""Quality-of-service error reporting.
+
+In the paper's experiment the ground truth for "something went wrong" is the
+error messages reported by GStreamer during playback.  The simulated
+pipeline's equivalent is the :class:`QosMonitor`: pipeline elements report
+QoS violations (buffer underrun at display time, frame displayed late,
+frame dropped) and each report both becomes a ``qos_error`` trace event and
+is kept in a side list that the labelling code uses as ground truth —
+mirroring how the paper reads GStreamer's error log next to the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import PipelineError
+from ..trace.event import EventType
+from ..platform.tracer import HardwareTracer
+
+__all__ = ["QosMessage", "QosMonitor"]
+
+
+@dataclass(frozen=True)
+class QosMessage:
+    """One QoS error message reported by the pipeline.
+
+    Attributes
+    ----------
+    timestamp_us:
+        When the violation was observed.
+    reason:
+        Machine-readable reason (``"underrun"``, ``"late_frame"``,
+        ``"frame_drop"``).
+    frame_index:
+        Index of the affected frame, or ``-1`` when no frame is involved
+        (e.g. underruns where no frame was available at all).
+    lateness_us:
+        How late the frame was relative to its presentation deadline
+        (0 when not applicable).
+    """
+
+    timestamp_us: int
+    reason: str
+    frame_index: int = -1
+    lateness_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0:
+            raise PipelineError("QoS message timestamp must be >= 0")
+        if not self.reason:
+            raise PipelineError("QoS message reason must not be empty")
+
+
+class QosMonitor:
+    """Collects QoS error messages, optionally mirroring them into the trace.
+
+    By default the messages are *not* emitted as trace events: in the paper's
+    setup the GStreamer error log is a side channel the evaluator reads, not
+    part of the monitored trace, and mirroring the errors into the trace
+    would make anomaly detection trivially easy (the detector would merely
+    have to spot the ``qos_error`` event type).  Set ``mirror_to_trace=True``
+    to model platforms whose tracing does capture framework error messages.
+    """
+
+    def __init__(
+        self, tracer: HardwareTracer, core: int = 0, mirror_to_trace: bool = False
+    ) -> None:
+        self.tracer = tracer
+        self.core = int(core)
+        self.mirror_to_trace = bool(mirror_to_trace)
+        self._messages: list[QosMessage] = []
+
+    def report(
+        self,
+        timestamp_us: int,
+        reason: str,
+        frame_index: int = -1,
+        lateness_us: float = 0.0,
+        task: str = "sink",
+    ) -> QosMessage:
+        """Record a QoS violation (and trace it when mirroring is enabled)."""
+        message = QosMessage(
+            timestamp_us=int(timestamp_us),
+            reason=reason,
+            frame_index=frame_index,
+            lateness_us=float(lateness_us),
+        )
+        self._messages.append(message)
+        if self.mirror_to_trace:
+            self.tracer.emit(
+                message.timestamp_us,
+                EventType.QOS_ERROR,
+                core=self.core,
+                task=task,
+                args={
+                    "reason": message.reason,
+                    "frame": message.frame_index,
+                    "lateness_us": round(message.lateness_us, 1),
+                },
+            )
+        return message
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def n_messages(self) -> int:
+        """Total number of QoS errors reported."""
+        return len(self._messages)
+
+    def messages(self) -> list[QosMessage]:
+        """All reported messages in chronological order."""
+        return list(self._messages)
+
+    def __iter__(self) -> Iterator[QosMessage]:
+        return iter(self._messages)
+
+    def timestamps_us(self) -> list[int]:
+        """Timestamps of all messages (chronological)."""
+        return [message.timestamp_us for message in self._messages]
+
+    def messages_between(self, start_us: float, end_us: float) -> list[QosMessage]:
+        """Messages with ``start_us <= t < end_us``."""
+        return [
+            message
+            for message in self._messages
+            if start_us <= message.timestamp_us < end_us
+        ]
+
+    @staticmethod
+    def count_by_reason(messages: Iterable[QosMessage]) -> dict[str, int]:
+        """Histogram of message reasons (used in experiment reports)."""
+        counts: dict[str, int] = {}
+        for message in messages:
+            counts[message.reason] = counts.get(message.reason, 0) + 1
+        return counts

@@ -1,0 +1,163 @@
+"""Video workload description.
+
+The paper decodes a 6 h 17 m video with GStreamer.  The simulated equivalent
+is a :class:`VideoWorkload`: a deterministic sequence of frames organised in
+GOPs (one I frame followed by P and B frames), each with a decode cost drawn
+from a frame-kind-dependent distribution.  The workload is the *regular*
+behaviour the detector learns; the per-frame jitter keeps the reference model
+from collapsing to a single point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+import numpy as np
+
+from ..config import MediaConfig
+from ..errors import PipelineError
+
+__all__ = ["FrameKind", "FrameDescriptor", "VideoWorkload"]
+
+
+class FrameKind(str, Enum):
+    """Kinds of video frames in a GOP."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Relative decode cost of each frame kind (I frames are the heaviest).
+_KIND_COST_FACTOR = {FrameKind.I: 1.8, FrameKind.P: 1.0, FrameKind.B: 0.7}
+
+#: Fraction of the frame period spent decoding an average P frame on an
+#: unloaded core.  0.35 means a 40 ms frame period costs ~14 ms of CPU,
+#: leaving enough headroom to catch up after perturbations, as a real
+#: software decoder on a laptop-class core does.
+_BASE_DECODE_FRACTION = 0.35
+
+#: CPU cost of the colour-space conversion, as a fraction of the frame period.
+_CONVERT_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class FrameDescriptor:
+    """One frame of the video workload.
+
+    Attributes
+    ----------
+    index:
+        Frame number (0-based, presentation order).
+    kind:
+        I, P or B frame.
+    presentation_us:
+        Time at which the sink should display the frame.
+    decode_cost_us:
+        CPU time required to decode the frame on an unloaded nominal core.
+    convert_cost_us:
+        CPU time required for the colour-space conversion stage.
+    size_bytes:
+        Compressed size of the frame (used for demuxer / DMA payloads).
+    """
+
+    index: int
+    kind: FrameKind
+    presentation_us: int
+    decode_cost_us: float
+    convert_cost_us: float
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise PipelineError(f"negative frame index: {self.index}")
+        if self.decode_cost_us <= 0 or self.convert_cost_us <= 0:
+            raise PipelineError("frame costs must be positive")
+
+
+class VideoWorkload:
+    """Deterministic frame sequence derived from a :class:`MediaConfig`."""
+
+    def __init__(self, config: MediaConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        # Pre-draw per-frame jitter so iterating the workload twice yields
+        # identical frames (the endurance run and the tests rely on this).
+        self._jitter = self._rng.normal(
+            loc=1.0, scale=config.frame_complexity_jitter, size=config.n_frames
+        )
+        self._jitter = np.clip(self._jitter, 0.4, 2.5)
+        self._sizes = self._rng.integers(8_000, 60_000, size=config.n_frames)
+
+    @property
+    def n_frames(self) -> int:
+        """Total number of frames in the workload."""
+        return self.config.n_frames
+
+    @property
+    def frame_period_us(self) -> float:
+        """Nominal inter-frame period in microseconds."""
+        return self.config.frame_period_us
+
+    def kind_of(self, index: int) -> FrameKind:
+        """Frame kind of frame ``index`` according to the GOP structure."""
+        position = index % self.config.gop_length
+        if position == 0:
+            return FrameKind.I
+        if position % 3 == 0:
+            return FrameKind.P
+        return FrameKind.B
+
+    def frame(self, index: int) -> FrameDescriptor:
+        """Return the descriptor of frame ``index``."""
+        if not 0 <= index < self.n_frames:
+            raise PipelineError(
+                f"frame index {index} out of range [0, {self.n_frames})"
+            )
+        kind = self.kind_of(index)
+        period = self.frame_period_us
+        base_cost = (
+            period
+            * _BASE_DECODE_FRACTION
+            * self.config.frame_complexity_mean
+            * _KIND_COST_FACTOR[kind]
+        )
+        decode_cost = float(base_cost * self._jitter[index])
+        convert_cost = float(period * _CONVERT_FRACTION)
+        size_factor = _KIND_COST_FACTOR[kind]
+        return FrameDescriptor(
+            index=index,
+            kind=kind,
+            presentation_us=int(round(index * period)),
+            decode_cost_us=max(decode_cost, 100.0),
+            convert_cost_us=max(convert_cost, 50.0),
+            size_bytes=int(self._sizes[index] * size_factor),
+        )
+
+    def frames(self) -> Iterator[FrameDescriptor]:
+        """Iterate over all frame descriptors in presentation order."""
+        for index in range(self.n_frames):
+            yield self.frame(index)
+
+    def mean_decode_cost_us(self) -> float:
+        """Average decode cost over the whole workload (analytic, no sampling)."""
+        total = 0.0
+        for index in range(self.n_frames):
+            kind = self.kind_of(index)
+            total += (
+                self.frame_period_us
+                * _BASE_DECODE_FRACTION
+                * self.config.frame_complexity_mean
+                * _KIND_COST_FACTOR[kind]
+                * self._jitter[index]
+            )
+        return total / max(self.n_frames, 1)
+
+    def audio_chunk_period_us(self) -> float:
+        """Period between audio decode chunks (1024-sample chunks)."""
+        return 1024 / self.config.audio_sample_rate_hz * 1e6

@@ -1,0 +1,29 @@
+"""MPSoC platform substrate: a discrete-event simulator with CPU cores,
+a preemptive round-robin scheduler, interrupts, a memory-contention model and
+a hardware-tracer model.
+
+The paper's traces come from dedicated tracing hardware observing a real
+MPSoC; this subpackage is the simulated stand-in that produces traces with
+the same structure (scheduling, IRQ, memory and application events grouped
+into hardware-buffer-sized batches).
+"""
+
+from .simulator import Simulator, ScheduledEvent
+from .cpu import Core
+from .task import Task, Job
+from .scheduler import RoundRobinScheduler
+from .memory import MemoryModel
+from .interrupt import TimerInterruptSource
+from .tracer import HardwareTracer
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Core",
+    "Task",
+    "Job",
+    "RoundRobinScheduler",
+    "MemoryModel",
+    "TimerInterruptSource",
+    "HardwareTracer",
+]

@@ -1,0 +1,72 @@
+"""CPU core model.
+
+A core scales job service times by its frequency relative to the nominal
+frequency and keeps simple utilisation accounting used by experiment reports
+and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Core"]
+
+#: Reference frequency against which job service times are expressed.
+NOMINAL_FREQUENCY_MHZ = 2000
+
+
+@dataclass
+class Core:
+    """A single CPU core of the simulated MPSoC.
+
+    Attributes
+    ----------
+    index:
+        Core number, also recorded in the ``core`` field of trace events.
+    frequency_mhz:
+        Core clock; service times are expressed at
+        :data:`NOMINAL_FREQUENCY_MHZ` and scaled accordingly.
+    """
+
+    index: int
+    frequency_mhz: int = NOMINAL_FREQUENCY_MHZ
+    busy_us: float = field(default=0.0, init=False)
+    current_task: str | None = field(default=None, init=False)
+    context_switches: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SimulationError(f"core index must be >= 0: {self.index}")
+        if self.frequency_mhz <= 0:
+            raise SimulationError(f"core frequency must be positive: {self.frequency_mhz}")
+
+    @property
+    def speed_factor(self) -> float:
+        """How much faster (>1) or slower (<1) than the nominal core this core is."""
+        return self.frequency_mhz / NOMINAL_FREQUENCY_MHZ
+
+    def wall_time_for(self, service_us: float) -> float:
+        """Wall-clock time needed to execute ``service_us`` of nominal CPU work."""
+        if service_us < 0:
+            raise SimulationError(f"negative service time: {service_us}")
+        return service_us / self.speed_factor
+
+    def service_in(self, wall_us: float) -> float:
+        """Nominal CPU work completed in ``wall_us`` of wall-clock time."""
+        if wall_us < 0:
+            raise SimulationError(f"negative wall time: {wall_us}")
+        return wall_us * self.speed_factor
+
+    def account_busy(self, wall_us: float) -> None:
+        """Record ``wall_us`` of busy time for utilisation accounting."""
+        if wall_us < 0:
+            raise SimulationError(f"negative busy time: {wall_us}")
+        self.busy_us += wall_us
+
+    def utilisation(self, elapsed_us: float) -> float:
+        """Fraction of ``elapsed_us`` this core spent busy (clamped to [0, 1])."""
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / elapsed_us)

@@ -1,0 +1,63 @@
+"""Memory / interconnect contention model.
+
+When several tasks are runnable at once on the MPSoC they compete not only
+for CPU time but also for the memory subsystem.  The model used here is the
+standard linear-slowdown approximation: with ``n`` concurrently runnable
+tasks, every task's effective progress rate is divided by
+``1 + contention_per_task * (n - 1)``.  The model also emits occasional
+``mem_stall`` trace events so memory pressure is visible in the event mix the
+detector sees (heavier pressure during perturbations shifts the pmf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass
+class MemoryModel:
+    """Linear memory-contention model.
+
+    Attributes
+    ----------
+    contention_per_task:
+        Additional relative slowdown contributed by each extra runnable task.
+        0.0 disables contention entirely.
+    stall_event_period_us:
+        How often (in wall-clock microseconds of contended execution) a
+        ``mem_stall`` trace event is emitted.  Stall events are only emitted
+        while more than one task is runnable.
+    """
+
+    contention_per_task: float = 0.15
+    stall_event_period_us: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.contention_per_task < 0:
+            raise SimulationError("contention_per_task must be >= 0")
+        if self.stall_event_period_us <= 0:
+            raise SimulationError("stall_event_period_us must be positive")
+
+    def slowdown(self, n_runnable: int) -> float:
+        """Slowdown factor (>= 1) for ``n_runnable`` concurrently runnable tasks."""
+        if n_runnable < 0:
+            raise SimulationError(f"negative task count: {n_runnable}")
+        if n_runnable <= 1:
+            return 1.0
+        return 1.0 + self.contention_per_task * (n_runnable - 1)
+
+    def effective_speed(self, n_runnable: int) -> float:
+        """Relative progress rate (<= 1) under contention."""
+        return 1.0 / self.slowdown(n_runnable)
+
+    def stall_events_in(self, wall_us: float, n_runnable: int) -> int:
+        """Number of ``mem_stall`` events to emit for ``wall_us`` of execution."""
+        if wall_us < 0:
+            raise SimulationError(f"negative wall time: {wall_us}")
+        if n_runnable <= 1:
+            return 0
+        return int(wall_us // self.stall_event_period_us)

@@ -1,0 +1,183 @@
+"""Preemptive round-robin scheduler for the simulated MPSoC.
+
+Tasks submit :class:`~repro.platform.task.Job` objects; the scheduler
+time-shares the available cores among pending jobs in fixed quanta, applies
+the memory-contention slowdown and emits the kernel-style trace events
+(``sched_wakeup``, ``sched_switch``, ``mem_stall``) that make up the bulk of
+a real platform trace.
+
+The scheduling discipline is priority round-robin: when a core becomes free
+the runnable job with the highest priority (FIFO among equals) gets the next
+quantum.  A job that does not finish within its quantum goes back to the end
+of its priority class.  This is close enough to Linux CFS behaviour for the
+purpose of the paper's experiment: a CPU-bound perturbation task stretches
+the decoder's job turnaround times, which is what produces late frames and
+QoS errors downstream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Sequence
+
+from ..errors import SimulationError
+from ..trace.event import EventType
+from .cpu import Core
+from .memory import MemoryModel
+from .simulator import Simulator
+from .task import Job, Task
+from .tracer import HardwareTracer
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler:
+    """Priority round-robin scheduler over one or more cores."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cores: Sequence[Core],
+        tracer: HardwareTracer,
+        memory: MemoryModel | None = None,
+        quantum_us: int = 4_000,
+        context_switch_cost_us: int = 5,
+    ) -> None:
+        if not cores:
+            raise SimulationError("scheduler needs at least one core")
+        if quantum_us <= 0:
+            raise SimulationError("quantum_us must be positive")
+        if context_switch_cost_us < 0:
+            raise SimulationError("context_switch_cost_us must be >= 0")
+        self.simulator = simulator
+        self.cores = list(cores)
+        self.tracer = tracer
+        self.memory = memory if memory is not None else MemoryModel()
+        self.quantum_us = int(quantum_us)
+        self.context_switch_cost_us = int(context_switch_cost_us)
+        self._ready: Deque[Job] = deque()
+        self._running: dict[int, Job] = {}
+        self._enqueue_order = itertools.count()
+        self._completed_jobs = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> None:
+        """Make ``job`` runnable and dispatch it as soon as a core is free."""
+        job.submitted_at_us = self.simulator.now_us
+        self.tracer.emit(
+            self.simulator.now_us,
+            EventType.SCHED_WAKEUP,
+            core=0,
+            task=job.task.name,
+            args={"job": job.job_id},
+        )
+        self._insert_ready(job)
+        self._dispatch()
+
+    def submit_work(
+        self, task: Task, service_us: float, on_complete=None
+    ) -> Job:
+        """Convenience wrapper: build a job for ``task`` and submit it."""
+        job = Job(task=task, service_us=service_us, on_complete=on_complete)
+        self.submit(job)
+        return job
+
+    def _insert_ready(self, job: Job) -> None:
+        # Stable priority insert: higher priority first, FIFO within a class.
+        if not self._ready or job.task.priority <= self._ready[-1].task.priority:
+            self._ready.append(job)
+            return
+        inserted = False
+        new_queue: Deque[Job] = deque()
+        for queued in self._ready:
+            if not inserted and job.task.priority > queued.task.priority:
+                new_queue.append(job)
+                inserted = True
+            new_queue.append(queued)
+        if not inserted:
+            new_queue.append(job)
+        self._ready = new_queue
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / execution
+    # ------------------------------------------------------------------ #
+    @property
+    def n_runnable(self) -> int:
+        """Jobs currently runnable (running or waiting for a core)."""
+        return len(self._ready) + len(self._running)
+
+    @property
+    def completed_jobs(self) -> int:
+        """Total number of jobs that ran to completion."""
+        return self._completed_jobs
+
+    def _idle_cores(self) -> list[Core]:
+        return [core for core in self.cores if core.index not in self._running]
+
+    def _dispatch(self) -> None:
+        for core in self._idle_cores():
+            if not self._ready:
+                return
+            job = self._ready.popleft()
+            self._start_slice(core, job)
+
+    def _start_slice(self, core: Core, job: Job) -> None:
+        now = self.simulator.now_us
+        previous_task = core.current_task or "idle"
+        self._running[core.index] = job
+        core.current_task = job.task.name
+        core.context_switches += 1
+        self.tracer.emit(
+            now,
+            EventType.SCHED_SWITCH,
+            core=core.index,
+            task=job.task.name,
+            args={"prev": previous_task, "job": job.job_id},
+        )
+
+        slowdown = self.memory.slowdown(self.n_runnable)
+        # Wall time needed to finish the job on this core under contention.
+        wall_to_finish = core.wall_time_for(job.remaining_us) * slowdown
+        slice_wall = min(float(self.quantum_us), wall_to_finish)
+        slice_wall = max(slice_wall, 1.0)
+
+        for stall_index in range(
+            self.memory.stall_events_in(slice_wall, self.n_runnable)
+        ):
+            stall_time = now + int(
+                (stall_index + 1) * self.memory.stall_event_period_us
+            )
+            self.tracer.emit(
+                stall_time,
+                EventType.MEM_STALL,
+                core=core.index,
+                task=job.task.name,
+                args={"runnable": self.n_runnable},
+            )
+
+        end_time = now + self.context_switch_cost_us + int(round(slice_wall))
+        self.simulator.schedule_at(
+            end_time, lambda: self._end_slice(core, job, slice_wall, slowdown)
+        )
+
+    def _end_slice(self, core: Core, job: Job, slice_wall: float, slowdown: float) -> None:
+        now = self.simulator.now_us
+        consumed = core.service_in(slice_wall) / slowdown
+        job.consume(consumed)
+        core.account_busy(slice_wall)
+        if self._running.get(core.index) is not job:
+            raise SimulationError("scheduler bookkeeping corrupted (core/job mismatch)")
+        del self._running[core.index]
+        core.current_task = None
+
+        if job.is_complete:
+            job.completed_at_us = now
+            self._completed_jobs += 1
+            if job.on_complete is not None:
+                job.on_complete(now)
+        else:
+            self._insert_ready(job)
+        self._dispatch()

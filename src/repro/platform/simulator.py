@@ -1,0 +1,163 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(time, sequence, callback)`` entries.
+Callbacks scheduled for the same instant execute in scheduling order, which
+makes every simulation fully deterministic for a given seed — an essential
+property for reproducible experiments and tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry in the simulator's event queue.
+
+    Instances are ordered by ``(time_us, sequence)`` so that simultaneous
+    events run in the order they were scheduled.  Cancelling an event marks
+    it instead of removing it from the heap (lazy deletion).
+    """
+
+    time_us: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with microsecond resolution."""
+
+    def __init__(self, start_us: int = 0) -> None:
+        self._now_us = int(start_us)
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    @property
+    def now_us(self) -> int:
+        """Current simulation time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now_us / 1e6
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (diagnostic)."""
+        return self._processed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule_at(self, time_us: int, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute time ``time_us``."""
+        time_us = int(time_us)
+        if time_us < self._now_us:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self._now_us}, requested={time_us})"
+            )
+        event = ScheduledEvent(time_us, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay_us: int, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay_us`` microseconds from now."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay: {delay_us}")
+        return self.schedule_at(self._now_us + int(delay_us), callback)
+
+    def schedule_periodic(
+        self,
+        period_us: int,
+        callback: Callable[[], None],
+        start_us: int | None = None,
+        until_us: int | None = None,
+    ) -> None:
+        """Schedule ``callback`` every ``period_us`` starting at ``start_us``.
+
+        The recurrence stops when ``until_us`` (if given) is reached or when
+        the simulation runs out of other events and :meth:`run` is bounded.
+        """
+        if period_us <= 0:
+            raise SimulationError("period_us must be positive")
+        first = self._now_us if start_us is None else int(start_us)
+
+        def _tick(time_us: int) -> None:
+            if until_us is not None and time_us > until_us:
+                return
+            callback()
+            next_time = time_us + period_us
+            if until_us is None or next_time <= until_us:
+                self.schedule_at(next_time, lambda: _tick(next_time))
+
+        self.schedule_at(first, lambda: _tick(first))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Run the next pending event; return ``False`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time_us < self._now_us:
+                raise SimulationError("event queue went backwards in time")
+            self._now_us = event.time_us
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until_us: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue is empty or ``until_us`` is reached.
+
+        Returns the number of callbacks executed by this call.  ``max_events``
+        guards against runaway simulations in tests.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                next_event = self._queue[0]
+                if next_event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_us is not None and next_event.time_us > until_us:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}"
+                    )
+                self.step()
+                executed += 1
+            if until_us is not None and self._now_us < until_us:
+                self._now_us = int(until_us)
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued (diagnostic)."""
+        return sum(1 for event in self._queue if not event.cancelled)

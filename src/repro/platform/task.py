@@ -1,0 +1,96 @@
+"""Tasks (threads) and jobs (units of CPU work) running on the platform.
+
+The multimedia pipeline and the perturbation injector express their CPU needs
+as :class:`Job` objects submitted to the scheduler: "task *video-decoder*
+needs 8 ms of CPU time, call me back when it is done".  The scheduler
+time-shares the cores among pending jobs, so competing load stretches job
+completion times exactly the way a real heavy process stretches GStreamer's
+decoding times in the paper's experiment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Task", "Job"]
+
+_JOB_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class Task:
+    """A schedulable entity (thread) on the platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable task name; it appears in the ``task`` field of trace
+        events (e.g. ``"video-decoder"``, ``"cpu-hog"``).
+    priority:
+        Larger values are scheduled first when several tasks are runnable
+        and a core becomes free.  Ties are broken by submission order.
+    """
+
+    name: str
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("task name must not be empty")
+
+
+@dataclass
+class Job:
+    """A unit of CPU work belonging to a task.
+
+    Attributes
+    ----------
+    task:
+        The owning task.
+    service_us:
+        Total CPU time required, in microseconds (at nominal core frequency
+        and without memory contention).
+    on_complete:
+        Callback invoked by the scheduler when the job finishes; it receives
+        the completion time in microseconds.
+    job_id:
+        Unique, monotonically increasing identifier (used for deterministic
+        tie-breaking and in trace payloads).
+    """
+
+    task: Task
+    service_us: float
+    on_complete: Callable[[int], None] | None = None
+    job_id: int = field(default_factory=lambda: next(_JOB_IDS))
+    remaining_us: float = field(init=False)
+    submitted_at_us: int | None = field(default=None, init=False)
+    completed_at_us: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.service_us <= 0:
+            raise SimulationError(f"job service time must be positive: {self.service_us}")
+        self.remaining_us = float(self.service_us)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether all requested CPU time has been consumed."""
+        return self.remaining_us <= 1e-9
+
+    @property
+    def turnaround_us(self) -> float | None:
+        """Completion time minus submission time, if both are known."""
+        if self.submitted_at_us is None or self.completed_at_us is None:
+            return None
+        return float(self.completed_at_us - self.submitted_at_us)
+
+    def consume(self, cpu_us: float) -> float:
+        """Consume up to ``cpu_us`` of CPU time; return the amount consumed."""
+        if cpu_us < 0:
+            raise SimulationError(f"negative CPU time: {cpu_us}")
+        used = min(cpu_us, self.remaining_us)
+        self.remaining_us -= used
+        return used

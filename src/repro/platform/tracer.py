@@ -1,0 +1,138 @@
+"""Hardware tracer model.
+
+Real MPSoC platforms embed low-intrusive tracing hardware that accumulates
+events in on-chip buffers and flushes them to the host in batches; the
+paper's streaming window size is tied to that buffer size.  The
+:class:`HardwareTracer` reproduces this behaviour: components of the platform
+and of the multimedia pipeline emit events through it, the tracer groups them
+into buffer flushes and exposes the whole capture as an ordered event list
+or a :class:`~repro.trace.stream.TraceStream`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..errors import SimulationError
+from ..trace.event import TraceEvent
+from ..trace.stream import TraceStream
+
+__all__ = ["HardwareTracer"]
+
+
+class HardwareTracer:
+    """Collects trace events emitted by the simulated platform.
+
+    Parameters
+    ----------
+    buffer_events:
+        Capacity of the (simulated) on-chip trace buffer.  The tracer keeps
+        track of flush boundaries so downstream consumers can reconstruct the
+        by-count windowing the hardware would provide.
+    enabled:
+        Tracing can be disabled entirely, which is how the "no tracing"
+        baseline measures the intrusiveness-free run.
+    event_filter:
+        Optional set of event-type names the tracer captures; anything else
+        is discarded at the source, like the event filtering real tracing
+        infrastructures offer (e.g. application-scope vs full-platform
+        tracing).  ``None`` captures everything.
+    """
+
+    def __init__(
+        self,
+        buffer_events: int = 256,
+        enabled: bool = True,
+        event_filter: frozenset[str] | set[str] | None = None,
+    ) -> None:
+        if buffer_events <= 0:
+            raise SimulationError("buffer_events must be positive")
+        self.buffer_events = int(buffer_events)
+        self.enabled = bool(enabled)
+        self.event_filter = frozenset(event_filter) if event_filter is not None else None
+        self._events: list[TraceEvent] = []
+        self._flush_boundaries: list[int] = []
+        self._last_timestamp_us = -1
+        self._dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def emit(
+        self,
+        timestamp_us: int,
+        etype: str,
+        core: int = 0,
+        task: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record one event (no-op when tracing is disabled or filtered out)."""
+        if not self.enabled:
+            self._dropped += 1
+            return
+        if self.event_filter is not None and str(etype) not in self.event_filter:
+            self._dropped += 1
+            return
+        timestamp_us = int(timestamp_us)
+        if timestamp_us < self._last_timestamp_us:
+            # Components schedule callbacks at the same simulator instant;
+            # clamp tiny reorderings instead of failing the whole run.
+            timestamp_us = self._last_timestamp_us
+        self._last_timestamp_us = timestamp_us
+        self._events.append(
+            TraceEvent(
+                timestamp_us=timestamp_us,
+                etype=str(etype),
+                core=core,
+                task=task,
+                args=dict(args) if args else {},
+            )
+        )
+        if len(self._events) % self.buffer_events == 0:
+            self._flush_boundaries.append(len(self._events))
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def n_events(self) -> int:
+        """Number of events captured so far."""
+        return len(self._events)
+
+    @property
+    def n_dropped(self) -> int:
+        """Number of events discarded because tracing was disabled."""
+        return self._dropped
+
+    @property
+    def flush_count(self) -> int:
+        """Number of completed hardware-buffer flushes."""
+        return len(self._flush_boundaries)
+
+    def events(self) -> list[TraceEvent]:
+        """Return the captured events in timestamp order."""
+        return list(self._events)
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Iterate over captured events without copying the list."""
+        return iter(self._events)
+
+    def stream(self) -> TraceStream:
+        """Wrap the capture in a single-pass :class:`TraceStream`."""
+        return TraceStream(iter(self._events))
+
+    def buffer_batches(self) -> Iterator[list[TraceEvent]]:
+        """Yield events grouped exactly as the hardware buffer flushed them."""
+        start = 0
+        for boundary in self._flush_boundaries:
+            yield self._events[start:boundary]
+            start = boundary
+        if start < len(self._events):
+            yield self._events[start:]
+
+    def clear(self) -> None:
+        """Discard all captured events (used between experiment repetitions)."""
+        self._events.clear()
+        self._flush_boundaries.clear()
+        self._last_timestamp_us = -1
+        self._dropped = 0

@@ -1,0 +1,38 @@
+"""Trace substrate: events, windows, streams, codecs and IO.
+
+This subpackage models the data produced by the (simulated) low-intrusive
+tracing hardware of an MPSoC platform: timestamped events, grouped into
+windows of consecutive events, streamed to the online monitor.
+"""
+
+from .event import EventType, EventTypeRegistry, TraceEvent, DEFAULT_REGISTRY
+from .window import TraceWindow
+from .stream import TraceStream, WindowPolicy, windows_by_count, windows_by_duration
+from .codec import BinaryTraceCodec, JsonTraceCodec, encoded_event_size, encoded_trace_size
+from .reader import read_trace, iter_trace_file
+from .writer import write_trace
+from .stats import TraceStatistics, summarize
+from .generator import SyntheticTraceGenerator, PeriodicTraceGenerator
+
+__all__ = [
+    "EventType",
+    "EventTypeRegistry",
+    "TraceEvent",
+    "DEFAULT_REGISTRY",
+    "TraceWindow",
+    "TraceStream",
+    "WindowPolicy",
+    "windows_by_count",
+    "windows_by_duration",
+    "BinaryTraceCodec",
+    "JsonTraceCodec",
+    "encoded_event_size",
+    "encoded_trace_size",
+    "read_trace",
+    "iter_trace_file",
+    "write_trace",
+    "TraceStatistics",
+    "summarize",
+    "SyntheticTraceGenerator",
+    "PeriodicTraceGenerator",
+]

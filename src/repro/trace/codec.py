@@ -1,0 +1,239 @@
+"""Trace codecs and size accounting.
+
+The paper's headline result is a *size* reduction: 418 MB of recorded trace
+instead of 5.9 GB.  To reproduce that metric meaningfully the library gives
+every event a realistic serialised size.  Two codecs are provided:
+
+* :class:`BinaryTraceCodec` — a compact binary encoding close to what real
+  trace infrastructures (CTF/STP) produce: varint-encoded timestamp deltas, a
+  one/two byte event-type code, small packed payloads.  This codec defines
+  the *byte* sizes used by the recorder and the reduction-factor metric.
+* :class:`JsonTraceCodec` — a human-readable JSON-lines encoding used for
+  debugging and for the file reader/writer round-trip tests.
+
+Both codecs are lossless for the event fields they encode and are exercised
+by round-trip property tests.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterable, Iterator
+
+from ..errors import TraceFormatError
+from .event import EventTypeRegistry, TraceEvent
+
+__all__ = [
+    "BinaryTraceCodec",
+    "JsonTraceCodec",
+    "encoded_event_size",
+    "encoded_trace_size",
+]
+
+_MAGIC = b"RTRC"
+_VERSION = 1
+
+
+def _encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise TraceFormatError(f"cannot varint-encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint starting at ``offset``; return (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise TraceFormatError("truncated varint in binary trace")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError("varint too long in binary trace")
+
+
+class BinaryTraceCodec:
+    """Compact binary encoding of trace events.
+
+    Events are encoded as::
+
+        varint  timestamp delta (us, relative to the previous event)
+        varint  event-type code
+        u8      core index
+        varint  length of the task name,  followed by its UTF-8 bytes
+        varint  length of the JSON payload, followed by its UTF-8 bytes
+
+    The first event of a buffer uses its absolute timestamp as the delta.
+    Payloads are JSON because they are tiny and heterogeneous; real systems
+    pack them, but the ~constant overhead does not change reduction ratios.
+    """
+
+    def __init__(self, registry: EventTypeRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else EventTypeRegistry()
+
+    # -- single event -------------------------------------------------- #
+    def encode_event(self, event: TraceEvent, previous_timestamp_us: int = 0) -> bytes:
+        """Encode one event relative to ``previous_timestamp_us``."""
+        delta = event.timestamp_us - previous_timestamp_us
+        if delta < 0:
+            raise TraceFormatError(
+                "events must be encoded in timestamp order "
+                f"({event.timestamp_us} after {previous_timestamp_us})"
+            )
+        code = self.registry.register(event.etype)
+        task_bytes = event.task.encode("utf-8")
+        payload_bytes = (
+            json.dumps(dict(event.args), sort_keys=True, separators=(",", ":")).encode("utf-8")
+            if event.args
+            else b""
+        )
+        parts = [
+            _encode_varint(delta),
+            _encode_varint(code),
+            struct.pack("B", event.core & 0xFF),
+            _encode_varint(len(task_bytes)),
+            task_bytes,
+            _encode_varint(len(payload_bytes)),
+            payload_bytes,
+        ]
+        return b"".join(parts)
+
+    def decode_event(
+        self, data: bytes, offset: int, previous_timestamp_us: int
+    ) -> tuple[TraceEvent, int]:
+        """Decode one event starting at ``offset``; return (event, new offset)."""
+        delta, offset = _decode_varint(data, offset)
+        code, offset = _decode_varint(data, offset)
+        if offset >= len(data):
+            raise TraceFormatError("truncated event record")
+        core = data[offset]
+        offset += 1
+        task_len, offset = _decode_varint(data, offset)
+        task = data[offset : offset + task_len].decode("utf-8")
+        offset += task_len
+        payload_len, offset = _decode_varint(data, offset)
+        payload_raw = data[offset : offset + payload_len]
+        offset += payload_len
+        args = json.loads(payload_raw.decode("utf-8")) if payload_len else {}
+        event = TraceEvent(
+            timestamp_us=previous_timestamp_us + delta,
+            etype=self.registry.name(code),
+            core=core,
+            task=task,
+            args=args,
+        )
+        return event, offset
+
+    # -- whole traces --------------------------------------------------- #
+    def encode(self, events: Iterable[TraceEvent]) -> bytes:
+        """Encode an event sequence as a self-describing binary blob."""
+        body = bytearray()
+        previous = 0
+        count = 0
+        for event in events:
+            body += self.encode_event(event, previous)
+            previous = event.timestamp_us
+            count += 1
+        header = {
+            "version": _VERSION,
+            "count": count,
+            "registry": self.registry.to_dict(),
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        return b"".join(
+            [_MAGIC, struct.pack("<I", len(header_bytes)), header_bytes, bytes(body)]
+        )
+
+    def decode(self, data: bytes) -> list[TraceEvent]:
+        """Decode a blob produced by :meth:`encode`."""
+        if data[:4] != _MAGIC:
+            raise TraceFormatError("not a binary trace (bad magic)")
+        if len(data) < 8:
+            raise TraceFormatError("truncated binary trace header")
+        (header_len,) = struct.unpack("<I", data[4:8])
+        header_end = 8 + header_len
+        if header_end > len(data):
+            raise TraceFormatError("truncated binary trace header")
+        try:
+            header = json.loads(data[8:header_end].decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError("malformed binary trace header") from exc
+        if header.get("version") != _VERSION:
+            raise TraceFormatError(f"unsupported trace version: {header.get('version')}")
+        registry = EventTypeRegistry.from_dict(header.get("registry", {}))
+        codec = BinaryTraceCodec(registry)
+        events: list[TraceEvent] = []
+        offset = header_end
+        previous = 0
+        for _ in range(int(header.get("count", 0))):
+            event, offset = codec.decode_event(data, offset, previous)
+            previous = event.timestamp_us
+            events.append(event)
+        return events
+
+    def event_size(self, event: TraceEvent, previous_timestamp_us: int = 0) -> int:
+        """Size in bytes of ``event`` under this codec."""
+        return len(self.encode_event(event, previous_timestamp_us))
+
+
+class JsonTraceCodec:
+    """JSON-lines encoding of trace events (one JSON object per line)."""
+
+    def encode_event(self, event: TraceEvent) -> str:
+        """Encode one event as a JSON line (without trailing newline)."""
+        return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def decode_event(self, line: str) -> TraceEvent:
+        """Decode one JSON line back into an event."""
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"malformed JSON event line: {line!r}") from exc
+        return TraceEvent.from_dict(data)
+
+    def encode(self, events: Iterable[TraceEvent]) -> str:
+        """Encode an event sequence as newline-separated JSON objects."""
+        return "\n".join(self.encode_event(event) for event in events)
+
+    def decode(self, text: str) -> Iterator[TraceEvent]:
+        """Decode the output of :meth:`encode` lazily."""
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                yield self.decode_event(line)
+
+
+def encoded_event_size(event: TraceEvent, previous_timestamp_us: int = 0) -> int:
+    """Convenience wrapper: binary-encoded size of a single event in bytes."""
+    return BinaryTraceCodec().event_size(event, previous_timestamp_us)
+
+
+def encoded_trace_size(events: Iterable[TraceEvent]) -> int:
+    """Total binary-encoded size of an event sequence (excluding file header).
+
+    Sizes are computed with delta timestamps exactly as the recorder does, so
+    the full-trace size and the sum of recorded-window sizes are directly
+    comparable.
+    """
+    codec = BinaryTraceCodec()
+    total = 0
+    previous = 0
+    for event in events:
+        total += codec.event_size(event, previous)
+        previous = event.timestamp_us
+    return total

@@ -1,0 +1,165 @@
+"""Synthetic trace generators.
+
+The full endurance experiment uses the MPSoC + multimedia simulator
+(:mod:`repro.platform` and :mod:`repro.media`), but many tests and the
+throughput benchmarks only need *statistically controlled* traces: events
+drawn from a known event-type distribution at a known rate, with optional
+anomalous segments whose distribution is shifted.  These generators provide
+exactly that, with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .event import TraceEvent
+
+__all__ = ["SyntheticTraceGenerator", "PeriodicTraceGenerator"]
+
+
+def _normalise_mix(mix: Mapping[str, float]) -> tuple[tuple[str, ...], np.ndarray]:
+    if not mix:
+        raise ConfigurationError("event mix must not be empty")
+    names = tuple(str(name) for name in mix)
+    weights = np.array([float(mix[name]) for name in mix], dtype=float)
+    if np.any(weights < 0):
+        raise ConfigurationError("event mix weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("event mix weights must not all be zero")
+    return names, weights / total
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """A time segment with its own event mix and rate."""
+
+    start_us: int
+    end_us: int
+    names: tuple[str, ...]
+    probabilities: np.ndarray
+    rate_per_s: float
+
+
+class SyntheticTraceGenerator:
+    """Generate events from a stationary event-type distribution.
+
+    Parameters
+    ----------
+    event_mix:
+        Mapping from event-type name to (unnormalised) weight.
+    rate_per_s:
+        Mean number of events per second (Poisson arrivals).
+    seed:
+        Seed of the internal random generator (deterministic output).
+    """
+
+    def __init__(
+        self,
+        event_mix: Mapping[str, float],
+        rate_per_s: float = 10_000.0,
+        seed: int = 0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate_per_s must be positive")
+        self.names, self.probabilities = _normalise_mix(event_mix)
+        self.rate_per_s = float(rate_per_s)
+        self.seed = int(seed)
+
+    def events(self, duration_s: float, start_us: int = 0) -> Iterator[TraceEvent]:
+        """Yield events covering ``duration_s`` seconds starting at ``start_us``."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        rng = np.random.default_rng(self.seed)
+        end_us = start_us + int(duration_s * 1e6)
+        mean_gap_us = 1e6 / self.rate_per_s
+        timestamp = float(start_us)
+        while True:
+            timestamp += rng.exponential(mean_gap_us)
+            if timestamp >= end_us:
+                return
+            name = self.names[int(rng.choice(len(self.names), p=self.probabilities))]
+            yield TraceEvent(timestamp_us=int(timestamp), etype=name, core=0, task="synthetic")
+
+    def anomalous_variant(
+        self, shift: Mapping[str, float], seed_offset: int = 1
+    ) -> "SyntheticTraceGenerator":
+        """Return a generator whose mix is shifted by ``shift`` (additive weights)."""
+        base = {name: float(p) for name, p in zip(self.names, self.probabilities)}
+        for name, delta in shift.items():
+            base[str(name)] = max(0.0, base.get(str(name), 0.0) + float(delta))
+        return SyntheticTraceGenerator(
+            base, rate_per_s=self.rate_per_s, seed=self.seed + seed_offset
+        )
+
+
+class PeriodicTraceGenerator:
+    """Generate a trace alternating between a normal and an anomalous regime.
+
+    The generator emits ``normal_mix`` events everywhere except inside the
+    ``anomaly_intervals``, where ``anomaly_mix`` (and optionally a different
+    rate) is used instead.  This mirrors the structure of the paper's
+    experiment — regular decoding punctuated by perturbation windows — while
+    remaining cheap enough for unit tests and micro-benchmarks.
+    """
+
+    def __init__(
+        self,
+        normal_mix: Mapping[str, float],
+        anomaly_mix: Mapping[str, float],
+        anomaly_intervals: Sequence[tuple[float, float]],
+        rate_per_s: float = 10_000.0,
+        anomaly_rate_per_s: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate_per_s must be positive")
+        self.normal_names, self.normal_probabilities = _normalise_mix(normal_mix)
+        self.anomaly_names, self.anomaly_probabilities = _normalise_mix(anomaly_mix)
+        self.rate_per_s = float(rate_per_s)
+        self.anomaly_rate_per_s = float(anomaly_rate_per_s or rate_per_s)
+        self.seed = int(seed)
+        self.anomaly_intervals: list[tuple[float, float]] = []
+        for start_s, end_s in anomaly_intervals:
+            if end_s <= start_s:
+                raise ConfigurationError(
+                    f"anomaly interval end before start: ({start_s}, {end_s})"
+                )
+            self.anomaly_intervals.append((float(start_s), float(end_s)))
+        self.anomaly_intervals.sort()
+
+    def _in_anomaly(self, timestamp_us: float) -> bool:
+        t_s = timestamp_us / 1e6
+        for start_s, end_s in self.anomaly_intervals:
+            if start_s <= t_s < end_s:
+                return True
+            if t_s < start_s:
+                return False
+        return False
+
+    def events(self, duration_s: float, start_us: int = 0) -> Iterator[TraceEvent]:
+        """Yield events covering ``duration_s`` seconds starting at ``start_us``."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        rng = np.random.default_rng(self.seed)
+        end_us = start_us + int(duration_s * 1e6)
+        timestamp = float(start_us)
+        while True:
+            anomalous = self._in_anomaly(timestamp)
+            rate = self.anomaly_rate_per_s if anomalous else self.rate_per_s
+            timestamp += rng.exponential(1e6 / rate)
+            if timestamp >= end_us:
+                return
+            anomalous = self._in_anomaly(timestamp)
+            if anomalous:
+                names, probabilities = self.anomaly_names, self.anomaly_probabilities
+                task = "anomaly"
+            else:
+                names, probabilities = self.normal_names, self.normal_probabilities
+                task = "normal"
+            name = names[int(rng.choice(len(names), p=probabilities))]
+            yield TraceEvent(timestamp_us=int(timestamp), etype=name, core=0, task=task)

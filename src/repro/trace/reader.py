@@ -1,0 +1,54 @@
+"""Reading traces back from disk."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import TraceFormatError
+from .codec import BinaryTraceCodec, JsonTraceCodec, _MAGIC
+from .event import TraceEvent
+
+__all__ = ["read_trace", "iter_trace_file"]
+
+
+def _detect_format(path: Path) -> str:
+    """Sniff whether ``path`` holds a binary or JSON-lines trace."""
+    with path.open("rb") as handle:
+        head = handle.read(4)
+    if head == _MAGIC:
+        return "binary"
+    return "jsonl"
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Read a whole trace file (binary or JSON lines) into memory."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file does not exist: {path}")
+    fmt = _detect_format(path)
+    if fmt == "binary":
+        return BinaryTraceCodec().decode(path.read_bytes())
+    return list(iter_trace_file(path))
+
+
+def iter_trace_file(path: str | Path) -> Iterator[TraceEvent]:
+    """Iterate lazily over a JSON-lines trace file.
+
+    Binary traces are self-describing blobs and must be read with
+    :func:`read_trace`; attempting to stream one raises
+    :class:`~repro.errors.TraceFormatError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file does not exist: {path}")
+    if _detect_format(path) == "binary":
+        raise TraceFormatError(
+            "binary traces cannot be streamed line by line; use read_trace()"
+        )
+    codec = JsonTraceCodec()
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield codec.decode_event(line)

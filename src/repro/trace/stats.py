@@ -1,0 +1,134 @@
+"""Descriptive statistics over traces and windows.
+
+These summaries are used by the experiment reports (event mix of a run,
+event rates, encoded sizes) and by the CLI ``repro-trace stats`` command.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .codec import BinaryTraceCodec
+from .event import TraceEvent
+from .window import TraceWindow
+
+__all__ = ["TraceStatistics", "summarize", "summarize_windows"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a trace (or a portion of one).
+
+    Attributes
+    ----------
+    n_events:
+        Total number of events.
+    duration_us:
+        Time spanned by the events (0 for empty traces).
+    first_timestamp_us / last_timestamp_us:
+        Timestamps of the first and last event (0 for empty traces).
+    type_counts:
+        Number of events per event type.
+    task_counts:
+        Number of events per task name.
+    core_counts:
+        Number of events per core index.
+    encoded_bytes:
+        Size of the trace under the compact binary codec.
+    """
+
+    n_events: int
+    duration_us: int
+    first_timestamp_us: int
+    last_timestamp_us: int
+    type_counts: Mapping[str, int] = field(default_factory=dict)
+    task_counts: Mapping[str, int] = field(default_factory=dict)
+    core_counts: Mapping[int, int] = field(default_factory=dict)
+    encoded_bytes: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Duration in seconds."""
+        return self.duration_us / 1e6
+
+    @property
+    def events_per_second(self) -> float:
+        """Mean event rate; 0 for traces shorter than one microsecond."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.n_events / self.duration_s
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Mean encoded trace bandwidth; 0 for empty or instantaneous traces."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.encoded_bytes / self.duration_s
+
+    def type_fraction(self, etype: str) -> float:
+        """Fraction of events of type ``etype`` (0 for empty traces)."""
+        if self.n_events == 0:
+            return 0.0
+        return self.type_counts.get(str(etype), 0) / self.n_events
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation."""
+        return {
+            "n_events": self.n_events,
+            "duration_us": self.duration_us,
+            "first_timestamp_us": self.first_timestamp_us,
+            "last_timestamp_us": self.last_timestamp_us,
+            "type_counts": dict(self.type_counts),
+            "task_counts": dict(self.task_counts),
+            "core_counts": {str(core): count for core, count in self.core_counts.items()},
+            "encoded_bytes": self.encoded_bytes,
+        }
+
+
+def summarize(events: Iterable[TraceEvent]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over an event iterable (single pass)."""
+    codec = BinaryTraceCodec()
+    type_counts: Counter[str] = Counter()
+    task_counts: Counter[str] = Counter()
+    core_counts: Counter[int] = Counter()
+    n_events = 0
+    first_ts = 0
+    last_ts = 0
+    encoded_bytes = 0
+    previous = 0
+
+    for event in events:
+        if n_events == 0:
+            first_ts = event.timestamp_us
+        last_ts = event.timestamp_us
+        n_events += 1
+        type_counts[event.etype] += 1
+        if event.task:
+            task_counts[event.task] += 1
+        core_counts[event.core] += 1
+        encoded_bytes += codec.event_size(event, previous)
+        previous = event.timestamp_us
+
+    duration = last_ts - first_ts if n_events else 0
+    return TraceStatistics(
+        n_events=n_events,
+        duration_us=duration,
+        first_timestamp_us=first_ts,
+        last_timestamp_us=last_ts,
+        type_counts=dict(type_counts),
+        task_counts=dict(task_counts),
+        core_counts=dict(core_counts),
+        encoded_bytes=encoded_bytes,
+    )
+
+
+def summarize_windows(windows: Iterable[TraceWindow]) -> TraceStatistics:
+    """Compute statistics over the events contained in ``windows``."""
+
+    def _events():
+        for window in windows:
+            yield from window.events
+
+    return summarize(_events())

@@ -1,0 +1,239 @@
+"""Streaming access to traces: turning an event stream into window stream.
+
+The tracing hardware delivers events grouped by buffer flushes; the monitor
+consumes them window by window.  Two windowing policies are provided:
+
+* :func:`windows_by_duration` — fixed time windows (the paper's experiment
+  uses 40 ms windows);
+* :func:`windows_by_count` — fixed number of events per window (the paper's
+  "windows of N consecutive events" description, N tied to the hardware
+  buffer size).
+
+:class:`TraceStream` wraps an event iterable and exposes both policies plus a
+few conveniences (peeking, splitting a reference prefix from the remainder)
+used by the online monitor.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import TraceStreamError
+from .event import TraceEvent
+from .window import TraceWindow
+
+__all__ = [
+    "WindowPolicy",
+    "windows_by_duration",
+    "windows_by_count",
+    "TraceStream",
+]
+
+
+class WindowPolicy(str, Enum):
+    """How a stream of events is cut into windows."""
+
+    BY_DURATION = "by_duration"
+    BY_COUNT = "by_count"
+
+
+def _check_monotonic(previous: int | None, event: TraceEvent) -> int:
+    if previous is not None and event.timestamp_us < previous:
+        raise TraceStreamError(
+            "event stream is not sorted by timestamp "
+            f"({event.timestamp_us} after {previous})"
+        )
+    return event.timestamp_us
+
+
+def windows_by_duration(
+    events: Iterable[TraceEvent],
+    window_duration_us: int,
+    start_us: int = 0,
+    emit_empty: bool = True,
+) -> Iterator[TraceWindow]:
+    """Cut ``events`` into consecutive fixed-duration windows.
+
+    Parameters
+    ----------
+    events:
+        Timestamp-ordered events.
+    window_duration_us:
+        Window length in microseconds; must be positive.
+    start_us:
+        Timestamp of the start of window 0.
+    emit_empty:
+        When ``True`` (default), windows with no events are still emitted so
+        window indices map directly to wall-clock time — this matters for
+        ground-truth labelling.  When ``False``, empty windows are skipped
+        (their indices are skipped as well).
+    """
+    if window_duration_us <= 0:
+        raise TraceStreamError("window_duration_us must be positive")
+
+    index = 0
+    window_start = start_us
+    window_end = start_us + window_duration_us
+    pending: list[TraceEvent] = []
+    previous: int | None = None
+
+    for event in events:
+        previous = _check_monotonic(previous, event)
+        if event.timestamp_us < window_start:
+            raise TraceStreamError(
+                f"event at t={event.timestamp_us} precedes stream start {window_start}"
+            )
+        while event.timestamp_us >= window_end:
+            if pending or emit_empty:
+                yield TraceWindow(index, window_start, window_end, tuple(pending))
+                index += 1
+            pending = []
+            window_start = window_end
+            window_end += window_duration_us
+        pending.append(event)
+
+    if pending or (emit_empty and index == 0):
+        yield TraceWindow(index, window_start, window_end, tuple(pending))
+
+
+def windows_by_count(
+    events: Iterable[TraceEvent],
+    events_per_window: int,
+    start_us: int = 0,
+) -> Iterator[TraceWindow]:
+    """Cut ``events`` into windows of ``events_per_window`` consecutive events.
+
+    This mirrors the paper's description of the tracing hardware delivering
+    the trace by buffers of ``N`` events.  The final, possibly shorter,
+    window is emitted as well.
+    """
+    if events_per_window <= 0:
+        raise TraceStreamError("events_per_window must be positive")
+
+    index = 0
+    pending: list[TraceEvent] = []
+    previous: int | None = None
+    window_start = start_us
+
+    for event in events:
+        previous = _check_monotonic(previous, event)
+        pending.append(event)
+        if len(pending) == events_per_window:
+            yield TraceWindow(
+                index, window_start, pending[-1].timestamp_us + 1, tuple(pending)
+            )
+            index += 1
+            window_start = pending[-1].timestamp_us + 1
+            pending = []
+
+    if pending:
+        yield TraceWindow(
+            index, window_start, pending[-1].timestamp_us + 1, tuple(pending)
+        )
+
+
+class TraceStream:
+    """A (possibly lazily generated) stream of trace events.
+
+    The stream is single-pass by design: it wraps an iterator the same way
+    the real system wraps the tracing hardware output.  Materialising the
+    whole stream (``list(stream.events())``) is possible but defeats the
+    purpose — the monitor is meant to process it online.
+    """
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self._iterator = iter(events)
+        self._consumed = False
+
+    @classmethod
+    def from_windows(cls, windows: Iterable[TraceWindow]) -> "TraceStream":
+        """Flatten windows back into an event stream."""
+
+        def _generate() -> Iterator[TraceEvent]:
+            for window in windows:
+                yield from window.events
+
+        return cls(_generate())
+
+    def _take_iterator(self) -> Iterator[TraceEvent]:
+        if self._consumed:
+            raise TraceStreamError("trace stream already consumed")
+        self._consumed = True
+        return self._iterator
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Iterate over the raw events (consumes the stream)."""
+        return self._take_iterator()
+
+    def windows(
+        self,
+        policy: WindowPolicy = WindowPolicy.BY_DURATION,
+        window_duration_us: int = 40_000,
+        events_per_window: int = 256,
+        start_us: int = 0,
+        emit_empty: bool = True,
+    ) -> Iterator[TraceWindow]:
+        """Iterate over windows according to ``policy`` (consumes the stream)."""
+        events = self._take_iterator()
+        if policy is WindowPolicy.BY_DURATION:
+            return windows_by_duration(
+                events, window_duration_us, start_us=start_us, emit_empty=emit_empty
+            )
+        if policy is WindowPolicy.BY_COUNT:
+            return windows_by_count(events, events_per_window, start_us=start_us)
+        raise TraceStreamError(f"unknown window policy: {policy!r}")
+
+    def split_reference(
+        self,
+        reference_duration_us: int,
+        window_duration_us: int = 40_000,
+        start_us: int = 0,
+    ) -> tuple[list[TraceWindow], Iterator[TraceWindow]]:
+        """Split the stream into a reference prefix and the live remainder.
+
+        Returns the list of windows covering ``[start_us, start_us +
+        reference_duration_us)`` — used to learn the reference model — and a
+        lazy iterator over the remaining windows, whose indices continue
+        where the reference stopped.
+        """
+        if reference_duration_us <= 0:
+            raise TraceStreamError("reference_duration_us must be positive")
+        window_iterator = self.windows(
+            WindowPolicy.BY_DURATION,
+            window_duration_us=window_duration_us,
+            start_us=start_us,
+            emit_empty=True,
+        )
+        boundary = start_us + reference_duration_us
+        reference: list[TraceWindow] = []
+        first_live: TraceWindow | None = None
+        for window in window_iterator:
+            if window.end_us <= boundary:
+                reference.append(window)
+            else:
+                first_live = window
+                break
+
+        def _remainder() -> Iterator[TraceWindow]:
+            if first_live is not None:
+                yield first_live
+                yield from window_iterator
+
+        return reference, _remainder()
+
+    @staticmethod
+    def merge(streams: Sequence["TraceStream"]) -> "TraceStream":
+        """Merge several timestamp-ordered streams into one ordered stream."""
+        import heapq
+
+        def _generate() -> Iterator[TraceEvent]:
+            iterators = [stream._take_iterator() for stream in streams]
+            yield from heapq.merge(*iterators, key=lambda event: event.timestamp_us)
+
+        return TraceStream(_generate())
+
+    def filtered(self, predicate: Callable[[TraceEvent], bool]) -> "TraceStream":
+        """Return a new stream containing only events matching ``predicate``."""
+        events = self._take_iterator()
+        return TraceStream(event for event in events if predicate(event))

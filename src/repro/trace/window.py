@@ -1,0 +1,158 @@
+"""Trace windows: the elementary processing unit of the monitor.
+
+The paper's streaming model delivers the trace not event by event but by
+windows of ``N`` consecutive events whose size is correlated with the tracing
+hardware buffers.  :class:`TraceWindow` wraps a list of events together with
+its time extent and provides the per-event-type counts from which the pmf
+abstraction is built.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TraceFormatError
+from .event import TraceEvent
+
+__all__ = ["TraceWindow"]
+
+
+@dataclass(frozen=True)
+class TraceWindow:
+    """A window of consecutive trace events.
+
+    Attributes
+    ----------
+    index:
+        Sequence number of the window within the stream (0-based).
+    start_us / end_us:
+        Time extent of the window in microseconds.  ``end_us`` is exclusive:
+        events satisfy ``start_us <= t < end_us``.
+    events:
+        The events contained in the window, in timestamp order.
+    """
+
+    index: int
+    start_us: int
+    end_us: int
+    events: tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.end_us < self.start_us:
+            raise TraceFormatError(
+                f"window end ({self.end_us}) before start ({self.start_us})"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+        last = None
+        for event in self.events:
+            if not self.start_us <= event.timestamp_us < max(self.end_us, self.start_us + 1):
+                raise TraceFormatError(
+                    f"event at t={event.timestamp_us} outside window "
+                    f"[{self.start_us}, {self.end_us})"
+                )
+            if last is not None and event.timestamp_us < last:
+                raise TraceFormatError("window events are not in timestamp order")
+            last = event.timestamp_us
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[TraceEvent],
+        index: int = 0,
+        start_us: int | None = None,
+        end_us: int | None = None,
+    ) -> "TraceWindow":
+        """Build a window from ``events``, inferring the extent if omitted."""
+        events = tuple(events)
+        if not events and (start_us is None or end_us is None):
+            raise TraceFormatError("cannot infer the extent of an empty window")
+        inferred_start = events[0].timestamp_us if events else 0
+        inferred_end = events[-1].timestamp_us + 1 if events else 0
+        return cls(
+            index=index,
+            start_us=inferred_start if start_us is None else start_us,
+            end_us=inferred_end if end_us is None else end_us,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic container behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        # A window is truthy even when empty: emptiness is a property of the
+        # trace, not an error, and ``if window:`` should not silently skip it.
+        return True
+
+    @property
+    def duration_us(self) -> int:
+        """Window duration in microseconds."""
+        return self.end_us - self.start_us
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the window contains no events."""
+        return not self.events
+
+    @property
+    def midpoint_us(self) -> float:
+        """Temporal midpoint of the window in microseconds."""
+        return (self.start_us + self.end_us) / 2.0
+
+    # ------------------------------------------------------------------ #
+    # Aggregations used by the analysis layer
+    # ------------------------------------------------------------------ #
+    def type_counts(self) -> Counter[str]:
+        """Return the number of occurrences of each event type."""
+        return Counter(event.etype for event in self.events)
+
+    def count(self, etype: str) -> int:
+        """Return the number of events of type ``etype`` in the window."""
+        key = str(etype)
+        return sum(1 for event in self.events if event.etype == key)
+
+    def events_of_type(self, etype: str) -> tuple[TraceEvent, ...]:
+        """Return all events of the given type, in order."""
+        key = str(etype)
+        return tuple(event for event in self.events if event.etype == key)
+
+    def tasks(self) -> frozenset[str]:
+        """Set of task names appearing in the window."""
+        return frozenset(event.task for event in self.events if event.task)
+
+    def overlaps(self, start_us: float, end_us: float) -> bool:
+        """Whether the window's extent intersects ``[start_us, end_us)``."""
+        return self.start_us < end_us and start_us < self.end_us
+
+    def slice(self, start_us: int, end_us: int, index: int = 0) -> "TraceWindow":
+        """Return a sub-window restricted to ``[start_us, end_us)``."""
+        if not self.overlaps(start_us, end_us):
+            return TraceWindow(index=index, start_us=start_us, end_us=end_us, events=())
+        selected = tuple(
+            event for event in self.events if start_us <= event.timestamp_us < end_us
+        )
+        return TraceWindow(index=index, start_us=start_us, end_us=end_us, events=selected)
+
+    @staticmethod
+    def concatenate(windows: Iterable["TraceWindow"], index: int = 0) -> "TraceWindow":
+        """Merge consecutive windows into a single larger window."""
+        windows = sorted(windows, key=lambda w: w.start_us)
+        if not windows:
+            raise TraceFormatError("cannot concatenate zero windows")
+        events: list[TraceEvent] = []
+        for window in windows:
+            events.extend(window.events)
+        events.sort(key=lambda event: event.timestamp_us)
+        return TraceWindow(
+            index=index,
+            start_us=windows[0].start_us,
+            end_us=windows[-1].end_us,
+            events=tuple(events),
+        )

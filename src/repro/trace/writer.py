@@ -1,0 +1,55 @@
+"""Writing traces to disk in binary or JSON-lines form."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import TraceFormatError
+from .codec import BinaryTraceCodec, JsonTraceCodec
+from .event import TraceEvent
+
+__all__ = ["write_trace"]
+
+
+def write_trace(
+    events: Iterable[TraceEvent],
+    path: str | Path,
+    fmt: str = "auto",
+) -> Path:
+    """Write ``events`` to ``path``.
+
+    Parameters
+    ----------
+    events:
+        Timestamp-ordered events.
+    path:
+        Destination file.  Parent directories are created as needed.
+    fmt:
+        ``"binary"``, ``"jsonl"`` or ``"auto"`` (default).  ``"auto"`` picks
+        the format from the file suffix: ``.jsonl``/``.json`` selects JSON
+        lines, anything else the compact binary format.
+
+    Returns
+    -------
+    Path
+        The path written to, for chaining.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    if fmt == "auto":
+        fmt = "jsonl" if path.suffix in {".jsonl", ".json"} else "binary"
+
+    if fmt == "binary":
+        data = BinaryTraceCodec().encode(events)
+        path.write_bytes(data)
+    elif fmt == "jsonl":
+        codec = JsonTraceCodec()
+        with path.open("w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(codec.encode_event(event))
+                handle.write("\n")
+    else:
+        raise TraceFormatError(f"unknown trace format: {fmt!r}")
+    return path

@@ -1,0 +1,127 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixture is ``mini_experiment``: one small simulated endurance
+run (a couple of minutes of media with two perturbations) that the
+integration tests share instead of re-simulating it per test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DetectorConfig,
+    EnduranceConfig,
+    MediaConfig,
+    MonitorConfig,
+    PerturbationConfig,
+    PlatformConfig,
+)
+from repro.experiments.endurance import run_endurance_experiment
+from repro.media.app import EnduranceRun
+from repro.trace.event import EventType, EventTypeRegistry, TraceEvent
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.window import TraceWindow
+
+
+@pytest.fixture()
+def registry() -> EventTypeRegistry:
+    """A fresh registry pre-populated with the canonical event types."""
+    return EventTypeRegistry.with_default_types()
+
+
+@pytest.fixture()
+def simple_events() -> list[TraceEvent]:
+    """A tiny, hand-written event sequence used by trace-layer unit tests."""
+    return [
+        TraceEvent(0, EventType.DEMUX_PACKET, core=0, task="demuxer", args={"frame": 0}),
+        TraceEvent(5, EventType.FRAME_DECODE_START, core=0, task="decoder", args={"frame": 0}),
+        TraceEvent(12_000, EventType.FRAME_DECODE_END, core=0, task="decoder", args={"frame": 0}),
+        TraceEvent(12_500, EventType.BUFFER_PUSH, core=0, task="converter", args={"level": 1}),
+        TraceEvent(40_000, EventType.FRAME_DISPLAY, core=0, task="sink", args={"frame": 0}),
+        TraceEvent(40_001, EventType.VSYNC, core=0, task="sink"),
+        TraceEvent(52_000, EventType.AUDIO_DECODE, core=0, task="audio", args={"chunk": 1}),
+        TraceEvent(79_999, EventType.TIMER_TICK, core=0, task=""),
+    ]
+
+
+@pytest.fixture()
+def simple_window(simple_events) -> TraceWindow:
+    """A single window wrapping :func:`simple_events`."""
+    return TraceWindow(index=0, start_us=0, end_us=80_000, events=tuple(simple_events))
+
+
+@pytest.fixture()
+def normal_mix() -> dict[str, float]:
+    """Event mix of a healthy decoding window (synthetic streams)."""
+    return {
+        str(EventType.MB_ROW_DECODE): 10.0,
+        str(EventType.FRAME_DECODE_START): 1.0,
+        str(EventType.FRAME_DECODE_END): 1.0,
+        str(EventType.FRAME_DISPLAY): 1.0,
+        str(EventType.VSYNC): 1.0,
+        str(EventType.AUDIO_DECODE): 2.0,
+        str(EventType.BUFFER_PUSH): 1.0,
+        str(EventType.BUFFER_POP): 1.0,
+        str(EventType.DEMUX_PACKET): 1.0,
+        str(EventType.SYSCALL_ENTER): 1.0,
+        str(EventType.SYSCALL_EXIT): 1.0,
+    }
+
+
+@pytest.fixture()
+def anomaly_mix(normal_mix) -> dict[str, float]:
+    """Event mix of a starved decoder (used to build anomalous segments)."""
+    mix = dict(normal_mix)
+    mix[str(EventType.MB_ROW_DECODE)] = 1.0
+    mix[str(EventType.FRAME_DISPLAY)] = 0.2
+    mix[str(EventType.BUFFER_UNDERRUN)] = 3.0
+    mix[str(EventType.FRAME_DROP)] = 2.0
+    return mix
+
+
+@pytest.fixture()
+def synthetic_stream(normal_mix, anomaly_mix) -> PeriodicTraceGenerator:
+    """A synthetic trace with two known anomalous intervals."""
+    return PeriodicTraceGenerator(
+        normal_mix,
+        anomaly_mix,
+        anomaly_intervals=[(20.0, 24.0), (40.0, 44.0)],
+        rate_per_s=2_000.0,
+        seed=42,
+    )
+
+
+def make_mini_config(duration_s: float = 150.0, seed: int = 77) -> EnduranceConfig:
+    """A small but complete endurance configuration used across tests."""
+    return EnduranceConfig(
+        detector=DetectorConfig(k_neighbours=15, lof_threshold=1.2),
+        monitor=MonitorConfig(
+            window_duration_us=40_000, reference_duration_us=40_000_000
+        ),
+        platform=PlatformConfig(),
+        media=MediaConfig(duration_s=duration_s, seed=seed),
+        perturbation=PerturbationConfig(
+            start_offset_s=55.0, period_s=45.0, duration_s=12.0, load_factor=3.0
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_config() -> EnduranceConfig:
+    """Session-wide copy of the small endurance configuration."""
+    return make_mini_config()
+
+
+@pytest.fixture(scope="session")
+def mini_trace(mini_config):
+    """One simulated endurance trace shared by the integration tests."""
+    return EnduranceRun(mini_config).run()
+
+
+@pytest.fixture(scope="session")
+def mini_experiment(mini_config):
+    """One complete endurance experiment (simulation + monitoring + metrics)."""
+    return run_endurance_experiment(mini_config)

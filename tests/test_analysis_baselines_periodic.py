@@ -1,0 +1,198 @@
+"""Tests for the baseline recording strategies and the periodicity extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import (
+    KlOnlyDetectorBaseline,
+    PeriodicSamplingBaseline,
+    RandomSamplingBaseline,
+    ZScoreBaseline,
+    run_baseline,
+)
+from repro.analysis.periodic import (
+    CompactionReport,
+    PeriodicityCompactor,
+    estimate_dominant_period,
+)
+from repro.errors import ModelError
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+from repro.trace.window import TraceWindow
+
+
+@pytest.fixture()
+def reference_and_live(normal_mix, anomaly_mix):
+    reference_gen = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=1)
+    reference = list(windows_by_duration(reference_gen.events(4.0), 40_000))
+    live_gen = PeriodicTraceGenerator(
+        normal_mix, anomaly_mix, anomaly_intervals=[(5.0, 7.0)], rate_per_s=2_000, seed=2
+    )
+    live = list(windows_by_duration(live_gen.events(12.0), 40_000))
+    return reference, live
+
+
+class TestSamplingBaselines:
+    def test_random_sampling_respects_budget(self, reference_and_live):
+        reference, live = reference_and_live
+        result = run_baseline(RandomSamplingBaseline(0.25, seed=3), live, reference)
+        assert 0.15 < result.recording_rate < 0.35
+        assert result.name == "random-sampling"
+        assert result.parameters["budget_fraction"] == 0.25
+
+    def test_random_sampling_validates_budget(self):
+        with pytest.raises(ModelError):
+            RandomSamplingBaseline(1.5)
+
+    def test_periodic_sampling_every_n(self, reference_and_live):
+        reference, live = reference_and_live
+        result = run_baseline(PeriodicSamplingBaseline(4), live, reference)
+        assert result.n_recorded == pytest.approx(len(live) / 4, abs=1)
+        with pytest.raises(ModelError):
+            PeriodicSamplingBaseline(0)
+
+    def test_reports_are_consistent_with_decisions(self, reference_and_live):
+        reference, live = reference_and_live
+        result = run_baseline(PeriodicSamplingBaseline(3), live, reference)
+        assert result.report.recorded_windows == result.n_recorded
+        assert result.report.total_windows == len(live)
+
+
+class TestZScoreBaseline:
+    def test_detects_rate_changes_only(self, normal_mix):
+        reference_gen = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=4)
+        reference = list(windows_by_duration(reference_gen.events(4.0), 40_000))
+        # Same mix but three times the rate: the z-score baseline fires.
+        burst_gen = SyntheticTraceGenerator(normal_mix, rate_per_s=6_000, seed=5)
+        burst = list(windows_by_duration(burst_gen.events(2.0), 40_000))
+        result = run_baseline(ZScoreBaseline(z_threshold=3.0), burst, reference)
+        assert result.recording_rate > 0.9
+
+    def test_blind_to_mix_changes_at_same_rate(self, normal_mix, anomaly_mix):
+        reference_gen = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=6)
+        reference = list(windows_by_duration(reference_gen.events(4.0), 40_000))
+        shifted_gen = SyntheticTraceGenerator(anomaly_mix, rate_per_s=2_000, seed=7)
+        shifted = list(windows_by_duration(shifted_gen.events(2.0), 40_000))
+        result = run_baseline(ZScoreBaseline(z_threshold=3.0), shifted, reference)
+        # the whole point of the paper's pmf approach: a pure count monitor misses this
+        assert result.recording_rate < 0.3
+
+    def test_requires_fit(self, normal_mix):
+        baseline = ZScoreBaseline()
+        window = TraceWindow.from_events([TraceEvent(0, "a")])
+        with pytest.raises(ModelError):
+            baseline.decide(window)
+        with pytest.raises(ModelError):
+            baseline.fit([window])  # needs at least two windows
+        with pytest.raises(ModelError):
+            ZScoreBaseline(z_threshold=0)
+
+
+class TestKlOnlyBaseline:
+    def test_flags_distribution_changes(self, reference_and_live):
+        reference, live = reference_and_live
+        result = run_baseline(
+            KlOnlyDetectorBaseline(kl_threshold=0.6, registry=EventTypeRegistry()),
+            live,
+            reference,
+        )
+        flagged_times = [
+            d.start_us / 1e6 for d in result.decisions if d.anomalous
+        ]
+        assert flagged_times
+        inside = [t for t in flagged_times if 4.9 <= t < 7.1]
+        # the KL-only ablation is noticeably noisier than the full detector,
+        # but the bulk of what it flags still falls inside the anomaly
+        assert len(inside) / len(flagged_times) > 0.5
+
+    def test_requires_fit_and_valid_threshold(self):
+        with pytest.raises(ModelError):
+            KlOnlyDetectorBaseline(kl_threshold=-1)
+        baseline = KlOnlyDetectorBaseline()
+        with pytest.raises(ModelError):
+            baseline.decide(TraceWindow.from_events([TraceEvent(0, "a")]))
+        with pytest.raises(ModelError):
+            baseline.fit([TraceWindow(index=0, start_us=0, end_us=10)])
+
+    def test_empty_windows_never_recorded(self, reference_and_live):
+        reference, _ = reference_and_live
+        baseline = KlOnlyDetectorBaseline()
+        baseline.fit(reference)
+        assert baseline.decide(TraceWindow(index=0, start_us=0, end_us=10)) is False
+
+
+class TestDominantPeriod:
+    def test_detects_known_period(self):
+        signal = np.tile([10.0, 2.0, 3.0, 4.0, 5.0], 20)
+        assert estimate_dominant_period(signal) == 5
+
+    def test_returns_none_for_flat_or_short_signals(self):
+        assert estimate_dominant_period([1.0, 1.0, 1.0, 1.0, 1.0, 1.0]) is None
+        assert estimate_dominant_period([1.0, 2.0]) is None
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        signal = np.tile([10.0, 2.0, 3.0, 4.0], 30) + rng.normal(0, 0.3, 120)
+        assert estimate_dominant_period(signal) == 4
+
+    def test_invalid_min_lag_rejected(self):
+        with pytest.raises(ModelError):
+            estimate_dominant_period(list(range(20)), min_lag=0)
+
+
+class TestPeriodicityCompactor:
+    def _repeating_windows(self, n=60, period=4):
+        windows = []
+        for index in range(n):
+            phase = index % period
+            events = [
+                TraceEvent(index * 1_000 + i, f"type_{phase}_{i % (phase + 1)}")
+                for i in range(10)
+            ]
+            windows.append(TraceWindow.from_events(events, index=index))
+        return windows
+
+    def test_deduplicates_repeating_behaviour(self):
+        windows = self._repeating_windows()
+        compactor = PeriodicityCompactor(similarity_threshold=0.05, phase_buckets=4)
+        kept, report = compactor.compact(windows)
+        assert report.deduplicated_windows > 0
+        assert report.kept_windows + report.deduplicated_windows == report.input_windows
+        assert report.output_bytes < report.input_bytes
+        assert report.additional_reduction_factor > 1.0
+        assert len(kept) == report.kept_windows
+
+    def test_distinct_windows_are_kept(self):
+        rng = np.random.default_rng(3)
+        windows = []
+        for index in range(30):
+            events = [
+                TraceEvent(index * 1_000 + i, f"unique_{index}_{rng.integers(0, 50)}")
+                for i in range(10)
+            ]
+            windows.append(TraceWindow.from_events(events, index=index))
+        compactor = PeriodicityCompactor(similarity_threshold=0.01)
+        kept, report = compactor.compact(windows)
+        assert report.deduplicated_windows == 0
+        assert len(kept) == 30
+
+    def test_empty_windows_pass_through(self):
+        windows = [TraceWindow(index=i, start_us=i * 10, end_us=i * 10 + 10) for i in range(5)]
+        kept, report = PeriodicityCompactor().compact(windows)
+        assert len(kept) == 5
+        assert report.deduplicated_windows == 0
+
+    def test_report_serialisation(self):
+        report = CompactionReport(10, 6, 4, 1_000, 700, period_windows=5)
+        payload = report.to_dict()
+        assert payload["deduplicated_windows"] == 4
+        assert payload["additional_reduction_factor"] == pytest.approx(1_000 / 700)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            PeriodicityCompactor(similarity_threshold=-1)
+        with pytest.raises(ModelError):
+            PeriodicityCompactor(phase_buckets=0)

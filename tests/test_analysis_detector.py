@@ -1,0 +1,141 @@
+"""Tests for the online anomaly detector (KL gate + LOF)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.detector import DetectionOutcome, OnlineAnomalyDetector, WindowDecision
+from repro.analysis.model import ReferenceModel
+from repro.config import DetectorConfig
+from repro.errors import ModelError
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+from repro.trace.window import TraceWindow
+
+
+@pytest.fixture()
+def fitted(normal_mix, registry):
+    generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=1)
+    reference = list(windows_by_duration(generator.events(4.0), 40_000))
+    model = ReferenceModel(k_neighbours=10).learn(reference, registry)
+    return model, registry
+
+
+def make_detector(fitted, **overrides):
+    model, registry = fitted
+    defaults = dict(k_neighbours=10, lof_threshold=1.3, kl_threshold=0.05)
+    defaults.update(overrides)
+    return OnlineAnomalyDetector(model, DetectorConfig(**defaults), registry)
+
+
+class TestProcess:
+    def test_normal_windows_not_flagged(self, fitted, normal_mix):
+        detector = make_detector(fitted)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=50)
+        windows = list(windows_by_duration(generator.events(2.0), 40_000))
+        decisions = [detector.process(window) for window in windows]
+        anomalous = sum(decision.anomalous for decision in decisions)
+        assert anomalous <= len(decisions) * 0.1
+
+    def test_anomalous_windows_flagged(self, fitted, anomaly_mix):
+        detector = make_detector(fitted)
+        generator = SyntheticTraceGenerator(anomaly_mix, rate_per_s=2_000, seed=51)
+        windows = list(windows_by_duration(generator.events(2.0), 40_000))
+        decisions = [detector.process(window) for window in windows]
+        anomalous = sum(decision.anomalous for decision in decisions)
+        assert anomalous >= len(decisions) * 0.8
+
+    def test_empty_window_yields_empty_outcome(self, fitted):
+        detector = make_detector(fitted)
+        decision = detector.process(TraceWindow(index=0, start_us=0, end_us=40_000))
+        assert decision.outcome is DetectionOutcome.EMPTY
+        assert decision.lof_score is None
+        assert not decision.anomalous
+
+    def test_counters_track_processing(self, fitted, normal_mix):
+        detector = make_detector(fitted)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=52)
+        windows = list(windows_by_duration(generator.events(1.0), 40_000))
+        for window in windows:
+            detector.process(window)
+        assert detector.n_processed == len(windows)
+        assert detector.n_merged + detector.n_lof_computed <= detector.n_processed
+        assert 0.0 <= detector.lof_computation_rate <= 1.0
+
+    def test_kl_gate_disabled_scores_every_window(self, fitted, normal_mix):
+        detector = make_detector(fitted, use_kl_gate=False)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=53)
+        windows = list(windows_by_duration(generator.events(1.0), 40_000))
+        decisions = [detector.process(window) for window in windows]
+        assert all(decision.lof_checked for decision in decisions if decision.n_events)
+        assert detector.n_merged == 0
+
+    def test_kl_gate_skips_lof_for_similar_windows(self, fitted, normal_mix):
+        # A huge threshold makes every non-empty window "similar": LOF never runs.
+        detector = make_detector(fitted, kl_threshold=1e9)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=54)
+        windows = list(windows_by_duration(generator.events(1.0), 40_000))
+        decisions = [detector.process(window) for window in windows]
+        assert all(decision.outcome is DetectionOutcome.MERGED for decision in decisions)
+        assert detector.n_lof_computed == 0
+
+    def test_past_pmf_adapts_on_merge(self, fitted, normal_mix):
+        detector = make_detector(fitted, kl_threshold=1e9, merge_decay=0.5)
+        before = detector.past_pmf.probabilities().copy()
+        generator = SyntheticTraceGenerator({"only_this": 1.0}, rate_per_s=2_000, seed=55)
+        for window in windows_by_duration(generator.events(0.5), 40_000):
+            detector.process(window)
+        after = detector.past_pmf.probabilities()
+        assert not (before == pytest.approx(after))
+
+    def test_unfitted_model_rejected(self, registry):
+        with pytest.raises(ModelError):
+            OnlineAnomalyDetector(ReferenceModel(), DetectorConfig(), registry)
+
+
+class TestWindowDecision:
+    def test_anomalous_at_rethresholds_stored_score(self):
+        decision = WindowDecision(
+            window_index=0,
+            start_us=0,
+            end_us=40_000,
+            n_events=10,
+            kl_to_past=0.5,
+            lof_score=1.4,
+            outcome=DetectionOutcome.ANOMALOUS,
+        )
+        assert decision.anomalous_at(1.2)
+        assert not decision.anomalous_at(1.5)
+
+    def test_unchecked_window_never_anomalous(self):
+        decision = WindowDecision(
+            window_index=0,
+            start_us=0,
+            end_us=40_000,
+            n_events=10,
+            kl_to_past=0.001,
+            lof_score=None,
+            outcome=DetectionOutcome.MERGED,
+        )
+        assert not decision.anomalous_at(0.5)
+        assert not decision.lof_checked
+
+    def test_detection_sequence_on_periodic_anomaly(self, fitted, normal_mix, anomaly_mix):
+        model, registry = fitted
+        detector = OnlineAnomalyDetector(
+            model, DetectorConfig(k_neighbours=10, lof_threshold=1.3), registry
+        )
+        generator = PeriodicTraceGenerator(
+            normal_mix, anomaly_mix, anomaly_intervals=[(1.0, 2.0)], rate_per_s=2_000, seed=3
+        )
+        decisions = [
+            detector.process(window)
+            for window in windows_by_duration(generator.events(3.0), 40_000)
+        ]
+        flagged_seconds = [
+            decision.start_us / 1e6 for decision in decisions if decision.anomalous
+        ]
+        assert flagged_seconds, "no anomaly detected at all"
+        inside = [t for t in flagged_seconds if 0.95 <= t < 2.05]
+        assert len(inside) / len(flagged_seconds) > 0.8

@@ -1,0 +1,106 @@
+"""Unit and property tests for divergences between pmfs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.divergence import (
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    symmetric_kl_divergence,
+    total_variation_distance,
+)
+from repro.analysis.pmf import pmf_from_counts
+from repro.errors import ModelError
+from repro.trace.event import EventTypeRegistry
+
+
+def distributions():
+    return st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=4, max_size=4
+    ).filter(lambda values: sum(values) > 0)
+
+
+class TestKl:
+    def test_zero_for_identical_distributions(self):
+        p = [0.25, 0.25, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different_distributions(self):
+        assert kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0.5
+
+    def test_asymmetric(self):
+        p, q = [0.9, 0.1], [0.5, 0.5]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_accepts_pmf_objects(self):
+        registry = EventTypeRegistry(["a", "b"])
+        p = pmf_from_counts({"a": 9, "b": 1}, registry)
+        q = pmf_from_counts({"a": 1, "b": 9}, registry)
+        assert kl_divergence(p, q) > 0.0
+
+    def test_smoothing_keeps_result_finite_with_disjoint_support(self):
+        value = kl_divergence([1.0, 0.0], [0.0, 1.0], smoothing=1e-6)
+        assert np.isfinite(value)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            kl_divergence([-0.1, 1.1], [0.5, 0.5])
+        with pytest.raises(ModelError):
+            kl_divergence([[0.5, 0.5]], [0.5, 0.5])
+        with pytest.raises(ModelError):
+            kl_divergence([0.0, 0.0], [0.5, 0.5], smoothing=0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=distributions(), q=distributions())
+    def test_non_negative_property(self, p, q):
+        assert kl_divergence(p, q) >= -1e-9
+
+
+class TestSymmetricAndJs:
+    @settings(max_examples=60, deadline=None)
+    @given(p=distributions(), q=distributions())
+    def test_symmetry_property(self, p, q):
+        assert symmetric_kl_divergence(p, q) == pytest.approx(symmetric_kl_divergence(q, p))
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=distributions())
+    def test_self_divergence_is_zero_property(self, p):
+        assert symmetric_kl_divergence(p, p) == pytest.approx(0.0, abs=1e-6)
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=distributions(), q=distributions())
+    def test_js_bounded_by_log2_property(self, p, q):
+        assert 0.0 - 1e-9 <= js_divergence(p, q) <= np.log(2) + 1e-9
+
+
+class TestOtherDistances:
+    @settings(max_examples=60, deadline=None)
+    @given(p=distributions(), q=distributions())
+    def test_bounds_property(self, p, q):
+        assert 0.0 - 1e-9 <= total_variation_distance(p, q) <= 1.0 + 1e-9
+        assert 0.0 - 1e-9 <= hellinger_distance(p, q) <= 1.0 + 1e-9
+
+    def test_total_variation_known_value(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_hellinger_known_value(self):
+        assert hellinger_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_ordering_consistency(self):
+        # A distribution closer to the reference should score lower on every metric.
+        reference = [0.5, 0.3, 0.2]
+        near = [0.45, 0.35, 0.2]
+        far = [0.05, 0.05, 0.9]
+        for metric in (symmetric_kl_divergence, js_divergence, total_variation_distance,
+                       hellinger_distance):
+            assert metric(near, reference) < metric(far, reference)

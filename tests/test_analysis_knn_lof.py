@@ -1,0 +1,155 @@
+"""Tests for the k-NN indexes and the Local Outlier Factor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.knn import BruteForceKnn, KdTreeKnn
+from repro.analysis.lof import LocalOutlierFactor
+from repro.errors import ModelError, NotFittedError
+
+
+def make_cluster_points(seed=0, n=200, dim=5):
+    rng = np.random.default_rng(seed)
+    return rng.normal(loc=0.0, scale=1.0, size=(n, dim))
+
+
+class TestKnnIndexes:
+    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    def test_nearest_neighbour_of_a_training_point_is_itself(self, index_cls):
+        points = make_cluster_points()
+        index = index_cls(points)
+        distances, indices = index.query(points[17], k=1)
+        assert indices[0] == 17
+        assert distances[0] == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    def test_distances_sorted_and_k_clamped(self, index_cls):
+        points = make_cluster_points(n=10)
+        index = index_cls(points)
+        distances, indices = index.query(np.zeros(points.shape[1]), k=50)
+        assert len(distances) == 10
+        assert list(distances) == sorted(distances)
+        assert len(set(indices.tolist())) == 10
+
+    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    def test_invalid_queries_rejected(self, index_cls):
+        index = index_cls(make_cluster_points(n=20, dim=3))
+        with pytest.raises(ModelError):
+            index.query(np.zeros(5), k=1)  # wrong dimension
+        with pytest.raises(ModelError):
+            index.query(np.zeros(3), k=0)
+
+    def test_empty_or_bad_points_rejected(self):
+        with pytest.raises(ModelError):
+            BruteForceKnn(np.zeros((0, 3)))
+        with pytest.raises(ModelError):
+            BruteForceKnn(np.array([1.0, 2.0]))
+        with pytest.raises(ModelError):
+            BruteForceKnn(np.array([[np.nan, 1.0]]))
+        with pytest.raises(ModelError):
+            KdTreeKnn(make_cluster_points(n=5), leaf_size=0)
+
+    def test_query_many_shapes(self):
+        points = make_cluster_points(n=30, dim=4)
+        index = BruteForceKnn(points)
+        distances, indices = index.query_many(points[:5], k=3)
+        assert distances.shape == (5, 3)
+        assert indices.shape == (5, 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_kdtree_matches_brute_force_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(60, 4))
+        query = rng.uniform(size=4)
+        brute_d, _ = BruteForceKnn(points).query(query, k)
+        tree_d, _ = KdTreeKnn(points, leaf_size=4).query(query, k)
+        assert np.allclose(brute_d, tree_d)
+
+    def test_kdtree_handles_duplicate_points(self):
+        points = np.vstack([np.ones((30, 3)), np.zeros((5, 3))])
+        index = KdTreeKnn(points, leaf_size=2)
+        distances, _ = index.query(np.ones(3), k=10)
+        assert distances[0] == pytest.approx(0.0)
+
+
+class TestLocalOutlierFactor:
+    def test_scores_near_one_inside_a_uniform_cluster(self):
+        points = make_cluster_points(n=300)
+        lof = LocalOutlierFactor(k_neighbours=15).fit(points)
+        inlier_score = lof.score(np.zeros(points.shape[1]))
+        assert 0.8 < inlier_score < 1.3
+
+    def test_outlier_scores_much_higher_than_inliers(self):
+        points = make_cluster_points(n=300)
+        lof = LocalOutlierFactor(k_neighbours=15).fit(points)
+        outlier_score = lof.score(np.full(points.shape[1], 15.0))
+        assert outlier_score > 2.0
+        assert lof.is_anomalous(np.full(points.shape[1], 15.0), alpha=1.5)
+        assert not lof.is_anomalous(np.zeros(points.shape[1]), alpha=1.5)
+
+    def test_score_many_matches_individual_scores(self):
+        points = make_cluster_points(n=100, dim=3)
+        lof = LocalOutlierFactor(k_neighbours=10).fit(points)
+        queries = make_cluster_points(seed=9, n=5, dim=3)
+        batch = lof.score_many(queries)
+        assert batch == pytest.approx([lof.score(q) for q in queries])
+
+    def test_training_scores_mostly_near_one(self):
+        points = make_cluster_points(n=200)
+        lof = LocalOutlierFactor(k_neighbours=10).fit(points)
+        scores = lof.training_scores
+        assert np.median(scores) == pytest.approx(1.0, abs=0.15)
+
+    def test_threshold_for_quantile_monotone(self):
+        points = make_cluster_points(n=200)
+        lof = LocalOutlierFactor(k_neighbours=10).fit(points)
+        assert lof.threshold_for_quantile(0.5) <= lof.threshold_for_quantile(0.99)
+        with pytest.raises(ModelError):
+            lof.threshold_for_quantile(0.0)
+
+    def test_kdtree_index_gives_same_scores_as_brute(self):
+        points = make_cluster_points(n=150, dim=4)
+        queries = make_cluster_points(seed=3, n=10, dim=4)
+        brute = LocalOutlierFactor(k_neighbours=10, index_kind="brute").fit(points)
+        tree = LocalOutlierFactor(k_neighbours=10, index_kind="kdtree").fit(points)
+        assert brute.score_many(queries) == pytest.approx(tree.score_many(queries), rel=1e-6)
+
+    def test_two_density_clusters(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(0.0, 0.05, size=(150, 2))
+        sparse = rng.normal(5.0, 1.0, size=(150, 2))
+        lof = LocalOutlierFactor(k_neighbours=10).fit(np.vstack([dense, sparse]))
+        # a point at the edge of the dense cluster is more outlying relative to
+        # its (dense) neighbourhood than a sparse-cluster member is to its own
+        edge_of_dense = lof.score(np.array([0.4, 0.4]))
+        sparse_member = lof.score(np.array([5.0, 1.0]))
+        assert edge_of_dense > sparse_member
+
+    def test_validation_errors(self):
+        with pytest.raises(ModelError):
+            LocalOutlierFactor(k_neighbours=0)
+        with pytest.raises(ModelError):
+            LocalOutlierFactor(index_kind="weird")
+        lof = LocalOutlierFactor(k_neighbours=5)
+        with pytest.raises(NotFittedError):
+            lof.score(np.zeros(3))
+        with pytest.raises(ModelError):
+            lof.fit(np.zeros((3, 2)))  # fewer points than k
+        with pytest.raises(ModelError):
+            lof.fit(np.zeros(5))  # not 2-D
+        fitted = LocalOutlierFactor(k_neighbours=3).fit(make_cluster_points(n=20, dim=2))
+        with pytest.raises(ModelError):
+            fitted.is_anomalous(np.zeros(2), alpha=0.0)
+
+    def test_duplicate_points_do_not_crash(self):
+        points = np.vstack([np.zeros((30, 3)), make_cluster_points(n=30, dim=3)])
+        lof = LocalOutlierFactor(k_neighbours=5).fit(points)
+        assert np.isfinite(lof.score(np.zeros(3)))
+        assert np.isfinite(lof.score(np.full(3, 0.01)))

@@ -1,0 +1,174 @@
+"""Tests for ground-truth labelling and the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.detector import DetectionOutcome, WindowDecision
+from repro.analysis.labeling import (
+    GroundTruth,
+    ImpactInterval,
+    WindowLabel,
+    estimate_impact_delays,
+    label_windows,
+)
+from repro.analysis.metrics import ConfusionCounts, DetectionMetrics, compute_metrics, reduction_factor
+from repro.analysis.recorder import RecorderReport
+from repro.errors import LabelingError
+from repro.media.perturbation import PerturbationInterval
+
+
+def decision(index, lof, start_s, anomalous=None, window_bytes=100):
+    lof_checked = lof is not None
+    is_anomalous = anomalous if anomalous is not None else (lof_checked and lof >= 1.2)
+    return WindowDecision(
+        window_index=index,
+        start_us=int(start_s * 1e6),
+        end_us=int(start_s * 1e6) + 40_000,
+        n_events=10,
+        kl_to_past=0.1,
+        lof_score=lof,
+        outcome=DetectionOutcome.ANOMALOUS if is_anomalous else DetectionOutcome.NORMAL,
+        window_bytes=window_bytes,
+    )
+
+
+class TestImpactDelays:
+    def test_delays_estimated_from_first_and_last_errors(self):
+        intervals = [PerturbationInterval(10.0, 20.0), PerturbationInterval(50.0, 60.0)]
+        errors = [int(12.0e6), int(15e6), int(21.5e6), int(53.0e6), int(61.0e6)]
+        delta_start, delta_end = estimate_impact_delays(intervals, errors, calibration_intervals=2)
+        assert delta_start == pytest.approx(2.5e6)   # mean of 2.0 s and 3.0 s
+        assert delta_end == pytest.approx(1.25e6)    # mean of 1.5 s and 1.0 s
+
+    def test_perturbations_without_errors_are_skipped(self):
+        intervals = [PerturbationInterval(10.0, 20.0), PerturbationInterval(50.0, 60.0)]
+        errors = [int(52e6)]
+        delta_start, delta_end = estimate_impact_delays(intervals, errors)
+        assert delta_start == pytest.approx(2e6)
+
+    def test_no_errors_gives_zero_delays(self):
+        assert estimate_impact_delays([PerturbationInterval(1.0, 2.0)], []) == (0.0, 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(LabelingError):
+            estimate_impact_delays([], [], calibration_intervals=0)
+        with pytest.raises(LabelingError):
+            estimate_impact_delays([], [], max_tail_s=0)
+
+
+class TestGroundTruth:
+    def test_from_run_builds_shifted_intervals(self):
+        intervals = [PerturbationInterval(10.0, 20.0)]
+        errors = [int(12e6), int(21e6)]
+        truth = GroundTruth.from_run(intervals, errors)
+        assert truth.delta_start_us == pytest.approx(2e6)
+        assert truth.delta_end_us == pytest.approx(1e6)
+        assert truth.impact_intervals[0].start_us == pytest.approx(12e6)
+        assert truth.impact_intervals[0].end_us == pytest.approx(21e6)
+
+    def test_window_queries(self):
+        truth = GroundTruth(
+            impact_intervals=(ImpactInterval(10e6, 20e6),),
+            error_timestamps_us=(int(12e6), int(15e6)),
+        )
+        assert truth.window_in_impact(11e6, 11.1e6)
+        assert not truth.window_in_impact(21e6, 22e6)
+        assert truth.window_has_error(11.99e6, 12.01e6)
+        assert not truth.window_has_error(13e6, 14e6)
+        assert truth.expected_anomalous(11.99e6, 12.01e6)
+        assert not truth.expected_anomalous(30e6, 31e6)
+
+    def test_invalid_impact_interval_rejected(self):
+        with pytest.raises(LabelingError):
+            ImpactInterval(10.0, 10.0)
+
+
+class TestLabeling:
+    def _truth(self):
+        return GroundTruth(
+            impact_intervals=(ImpactInterval(10e6, 20e6),),
+            error_timestamps_us=tuple(int(t * 1e6) for t in (11.0, 12.0, 15.0, 19.0)),
+        )
+
+    def test_four_label_kinds(self):
+        truth = self._truth()
+        decisions = [
+            decision(0, 2.0, start_s=11.0),    # in impact, error, detected  -> TP
+            decision(1, 1.0, start_s=12.0),    # in impact, error, missed    -> FN
+            decision(2, 3.0, start_s=40.0),    # outside impact, detected    -> FP
+            decision(3, 1.0, start_s=41.0),    # outside impact, not flagged -> TN
+            decision(4, 2.5, start_s=13.0),    # in impact but no error      -> FP
+        ]
+        labels = label_windows(decisions, truth)
+        assert labels == [
+            WindowLabel.TRUE_POSITIVE,
+            WindowLabel.FALSE_NEGATIVE,
+            WindowLabel.FALSE_POSITIVE,
+            WindowLabel.TRUE_NEGATIVE,
+            WindowLabel.FALSE_POSITIVE,
+        ]
+
+    def test_alpha_override_rethresholds(self):
+        truth = self._truth()
+        decisions = [decision(0, 1.4, start_s=11.0)]
+        assert label_windows(decisions, truth, alpha=1.2) == [WindowLabel.TRUE_POSITIVE]
+        assert label_windows(decisions, truth, alpha=1.5) == [WindowLabel.FALSE_NEGATIVE]
+
+    def test_merged_windows_count_as_negatives(self):
+        truth = self._truth()
+        merged = decision(0, None, start_s=11.0, anomalous=False)
+        assert label_windows([merged], truth, alpha=0.5) == [WindowLabel.FALSE_NEGATIVE]
+        outside = decision(1, None, start_s=40.0, anomalous=False)
+        assert label_windows([outside], truth, alpha=0.5) == [WindowLabel.TRUE_NEGATIVE]
+
+
+class TestMetrics:
+    def test_confusion_counts_from_labels(self):
+        counts = ConfusionCounts.from_labels(
+            [WindowLabel.TRUE_POSITIVE] * 3
+            + [WindowLabel.FALSE_POSITIVE] * 1
+            + [WindowLabel.FALSE_NEGATIVE] * 2
+            + [WindowLabel.TRUE_NEGATIVE] * 4
+        )
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (3, 1, 2, 4)
+        assert counts.precision == pytest.approx(0.75)
+        assert counts.recall == pytest.approx(0.6)
+        assert counts.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+        assert counts.accuracy == pytest.approx(0.7)
+        assert counts.false_positive_rate == pytest.approx(0.2)
+        assert counts.total == 10
+
+    def test_degenerate_counts(self):
+        empty = ConfusionCounts()
+        assert empty.precision == 0.0
+        assert empty.recall == 1.0
+        assert empty.f1 == 0.0
+        assert empty.accuracy == 0.0
+        with pytest.raises(LabelingError):
+            ConfusionCounts(tp=-1)
+
+    def test_counts_addition(self):
+        total = ConfusionCounts(1, 2, 3, 4) + ConfusionCounts(10, 20, 30, 40)
+        assert (total.tp, total.fp, total.fn, total.tn) == (11, 22, 33, 44)
+
+    def test_compute_metrics_with_report(self):
+        labels = [WindowLabel.TRUE_POSITIVE, WindowLabel.TRUE_NEGATIVE]
+        report = RecorderReport(2, 20, 1_000, 1, 10, 100)
+        metrics = compute_metrics(labels, report)
+        assert metrics.precision == 1.0
+        assert metrics.reduction_factor == pytest.approx(10.0)
+        payload = metrics.to_dict()
+        assert payload["tp"] == 1 and payload["reduction_factor"] == pytest.approx(10.0)
+
+    def test_compute_metrics_without_report(self):
+        metrics = compute_metrics([WindowLabel.TRUE_NEGATIVE])
+        assert metrics.total_bytes == 0
+        assert metrics.reduction_factor == 1.0
+
+    def test_reduction_factor_function(self):
+        assert reduction_factor(100, 10) == pytest.approx(10.0)
+        assert reduction_factor(0, 0) == 1.0
+        assert reduction_factor(100, 0) == float("inf")
+        with pytest.raises(LabelingError):
+            reduction_factor(-1, 0)

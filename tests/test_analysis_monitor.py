@@ -1,0 +1,101 @@
+"""Tests for the end-to-end trace monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import ReferenceModel
+from repro.analysis.monitor import TraceMonitor
+from repro.config import DetectorConfig, MonitorConfig
+from repro.errors import ModelError
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.stream import TraceStream, windows_by_duration
+
+
+def make_monitor(registry, **monitor_overrides):
+    monitor_config = MonitorConfig(
+        window_duration_us=40_000,
+        reference_duration_us=4_000_000,
+        **monitor_overrides,
+    )
+    detector_config = DetectorConfig(k_neighbours=10, lof_threshold=1.3)
+    return TraceMonitor(detector_config, monitor_config, registry)
+
+
+class TestLearnAndMonitor:
+    def test_run_on_stream_learns_then_monitors(self, registry, synthetic_stream):
+        monitor = make_monitor(registry)
+        result = monitor.run_on_stream(TraceStream(synthetic_stream.events(50.0)))
+        assert result.reference_window_count == 100  # 4 s of 40 ms windows
+        assert result.n_windows > 1_000
+        assert result.model.is_fitted
+        assert result.report.total_windows == result.n_windows
+
+    def test_anomalies_detected_in_known_intervals(self, registry, synthetic_stream):
+        monitor = make_monitor(registry)
+        result = monitor.run_on_stream(TraceStream(synthetic_stream.events(50.0)))
+        flagged = [decision.start_us / 1e6 for decision in result.anomalous_windows()]
+        assert flagged, "nothing detected"
+        inside = [
+            t for t in flagged if (19.9 <= t < 24.1) or (39.9 <= t < 44.1)
+        ]
+        assert len(inside) / len(flagged) > 0.7
+        assert result.report.reduction_factor > 3.0
+
+    def test_recorded_indices_match_anomalous_decisions(self, registry, synthetic_stream):
+        monitor = make_monitor(registry)
+        result = monitor.run_on_stream(TraceStream(synthetic_stream.events(30.0)))
+        anomalous_indices = {d.window_index for d in result.decisions if d.anomalous}
+        assert set(result.recorded_indices) == anomalous_indices
+
+    def test_window_bytes_populated(self, registry, synthetic_stream):
+        monitor = make_monitor(registry)
+        result = monitor.run_on_stream(TraceStream(synthetic_stream.events(10.0)))
+        non_empty = [d for d in result.decisions if d.n_events]
+        assert all(decision.window_bytes > 0 for decision in non_empty)
+        assert sum(d.window_bytes for d in result.decisions) == result.report.total_bytes
+
+    def test_curated_model_skips_learning(self, registry, normal_mix):
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=8)
+        reference = list(windows_by_duration(generator.events(4.0), 40_000))
+        model = ReferenceModel(k_neighbours=10).learn(reference, registry)
+        monitor = make_monitor(registry)
+        live = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=9)
+        result = monitor.run_on_stream(TraceStream(live.events(4.0)), model=model)
+        assert result.reference_window_count == 0
+        assert result.n_windows == 100
+        assert result.anomaly_rate < 0.2
+
+    def test_unfitted_curated_model_rejected(self, registry, normal_mix):
+        monitor = make_monitor(registry)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=10)
+        with pytest.raises(ModelError):
+            monitor.run_on_stream(TraceStream(generator.events(1.0)), model=ReferenceModel())
+
+    def test_output_file_written(self, registry, synthetic_stream, tmp_path):
+        monitor = make_monitor(registry)
+        path = tmp_path / "anomalies.jsonl"
+        result = monitor.run_on_stream(
+            TraceStream(synthetic_stream.events(30.0)), output_path=path
+        )
+        assert path.exists()
+        assert path.stat().st_size > 0 or result.n_anomalous == 0
+
+    def test_run_on_events_convenience(self, registry, normal_mix):
+        monitor = make_monitor(registry)
+        generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=11)
+        result = monitor.run_on_events(generator.events(8.0))
+        assert result.n_windows == 100
+
+    def test_monitor_stats_exposed(self, registry, synthetic_stream):
+        monitor = make_monitor(registry)
+        result = monitor.run_on_stream(TraceStream(synthetic_stream.events(20.0)))
+        stats = result.detector_stats
+        assert stats["windows_processed"] == result.n_windows
+        assert 0.0 <= stats["lof_computation_rate"] <= 1.0
+
+    def test_default_construction(self):
+        monitor = TraceMonitor()
+        assert monitor.detector_config.k_neighbours == 20
+        assert monitor.monitor_config.window_duration_us == 40_000

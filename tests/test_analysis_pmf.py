@@ -1,0 +1,161 @@
+"""Unit and property tests for the pmf abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pmf import Pmf, pmf_from_counts, pmf_from_window
+from repro.errors import ModelError
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.window import TraceWindow
+
+
+def make_registry(*names):
+    return EventTypeRegistry(names)
+
+
+class TestConstruction:
+    def test_counts_must_match_registry_size(self):
+        registry = make_registry("a", "b")
+        with pytest.raises(ModelError):
+            Pmf([1.0], registry)
+
+    def test_negative_counts_rejected(self):
+        registry = make_registry("a", "b")
+        with pytest.raises(ModelError):
+            Pmf([1.0, -1.0], registry)
+
+    def test_two_dimensional_counts_rejected(self):
+        registry = make_registry("a", "b")
+        with pytest.raises(ModelError):
+            Pmf(np.zeros((2, 2)), registry)
+
+    def test_empty_pmf(self):
+        registry = make_registry("a", "b")
+        pmf = Pmf.empty(registry)
+        assert pmf.is_empty
+        assert pmf.total == 0.0
+        # empty pmf falls back to the uniform distribution
+        assert pmf.probabilities() == pytest.approx([0.5, 0.5])
+
+
+class TestFromWindow:
+    def test_counts_match_window_content(self, registry, simple_window):
+        pmf = pmf_from_window(simple_window, registry)
+        assert pmf.count("demux_packet") == 1
+        assert pmf.count("frame_decode_start") == 1
+        assert pmf.total == len(simple_window)
+
+    def test_unknown_types_registered_on_the_fly(self):
+        registry = make_registry("known")
+        window = TraceWindow.from_events([TraceEvent(0, "brand_new")])
+        pmf = pmf_from_window(window, registry)
+        assert "brand_new" in registry
+        assert pmf.count("brand_new") == 1
+
+    def test_unknown_types_rejected_when_disabled(self):
+        registry = make_registry("known")
+        window = TraceWindow.from_events([TraceEvent(0, "brand_new")])
+        with pytest.raises(ModelError):
+            pmf_from_window(window, registry, register_unknown=False)
+
+    def test_from_counts(self):
+        registry = make_registry()
+        pmf = pmf_from_counts({"a": 3, "b": 1}, registry)
+        assert pmf.probability("a") == pytest.approx(0.75)
+        assert pmf.probability("b") == pytest.approx(0.25)
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ModelError):
+            pmf_from_counts({"a": -1}, make_registry())
+
+
+class TestProbabilities:
+    def test_normalisation(self):
+        pmf = pmf_from_counts({"a": 6, "b": 2}, make_registry())
+        assert pmf.probabilities().sum() == pytest.approx(1.0)
+        assert pmf.probability("a") == pytest.approx(0.75)
+
+    def test_smoothing_gives_full_support(self):
+        pmf = pmf_from_counts({"a": 10, "b": 0}, make_registry("a", "b"))
+        smoothed = pmf.probabilities(smoothing=1.0)
+        assert smoothed.min() > 0
+        assert smoothed.sum() == pytest.approx(1.0)
+
+    def test_negative_smoothing_rejected(self):
+        pmf = pmf_from_counts({"a": 1}, make_registry())
+        with pytest.raises(ModelError):
+            pmf.probabilities(smoothing=-1)
+
+    def test_top_types(self):
+        pmf = pmf_from_counts({"a": 5, "b": 3, "c": 1}, make_registry())
+        assert [name for name, _ in pmf.top_types(2)] == ["a", "b"]
+
+    def test_as_dict_omits_zero_entries(self):
+        pmf = pmf_from_counts({"a": 2, "b": 0}, make_registry("a", "b"))
+        assert pmf.as_dict() == {"a": 2.0}
+
+
+class TestMerge:
+    def test_merge_full_decay_replaces(self):
+        registry = make_registry("a", "b")
+        first = pmf_from_counts({"a": 10}, registry)
+        second = pmf_from_counts({"b": 10}, registry)
+        merged = first.merge(second, decay=1.0)
+        assert merged.probability("b") == pytest.approx(1.0)
+
+    def test_merge_blends_probabilities(self):
+        registry = make_registry("a", "b")
+        first = pmf_from_counts({"a": 10}, registry)
+        second = pmf_from_counts({"b": 10}, registry)
+        merged = first.merge(second, decay=0.25)
+        assert merged.probability("a") == pytest.approx(0.75)
+        assert merged.probability("b") == pytest.approx(0.25)
+
+    def test_merge_with_empty_keeps_other_side(self):
+        registry = make_registry("a", "b")
+        pmf = pmf_from_counts({"a": 4}, registry)
+        assert Pmf.empty(registry).merge(pmf) == pmf
+        assert pmf.merge(Pmf.empty(registry)) == pmf
+
+    def test_merge_invalid_decay_rejected(self):
+        registry = make_registry("a")
+        pmf = pmf_from_counts({"a": 1}, registry)
+        with pytest.raises(ModelError):
+            pmf.merge(pmf, decay=0.0)
+        with pytest.raises(ModelError):
+            pmf.merge(pmf, decay=1.5)
+
+    def test_incompatible_registries_rejected(self):
+        first = pmf_from_counts({"a": 1}, make_registry("a"))
+        second = pmf_from_counts({"b": 1}, make_registry("b"))
+        with pytest.raises(ModelError):
+            first.merge(second)
+
+    def test_add_sums_counts(self):
+        registry = make_registry("a", "b")
+        total = pmf_from_counts({"a": 1}, registry).add(pmf_from_counts({"a": 2, "b": 3}, registry))
+        assert total.count("a") == 3
+        assert total.count("b") == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts_a=st.lists(st.integers(min_value=0, max_value=50), min_size=3, max_size=3),
+        counts_b=st.lists(st.integers(min_value=0, max_value=50), min_size=3, max_size=3),
+        decay=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_merge_stays_normalised_property(self, counts_a, counts_b, decay):
+        registry = make_registry("a", "b", "c")
+        first = Pmf(np.array(counts_a, dtype=float), registry)
+        second = Pmf(np.array(counts_b, dtype=float), registry)
+        merged = first.merge(second, decay=decay)
+        if not merged.is_empty:
+            assert merged.probabilities().sum() == pytest.approx(1.0)
+        # merged probabilities stay within the convex hull of the inputs
+        if not first.is_empty and not second.is_empty:
+            for code in range(3):
+                low = min(first.probabilities()[code], second.probabilities()[code])
+                high = max(first.probabilities()[code], second.probabilities()[code])
+                assert low - 1e-9 <= merged.probabilities()[code] <= high + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the selective trace recorder and its size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.recorder import FullTraceRecorder, RecorderReport, SelectiveTraceRecorder
+from repro.errors import RecorderError
+from repro.trace.codec import encoded_trace_size
+from repro.trace.event import TraceEvent
+from repro.trace.reader import read_trace
+from repro.trace.stream import windows_by_duration
+
+
+def make_windows(n_windows=10, events_per_window=5):
+    events = []
+    for w in range(n_windows):
+        for i in range(events_per_window):
+            events.append(TraceEvent(w * 1_000 + i * 10, "timer_tick", task="t"))
+    return list(windows_by_duration(events, 1_000))
+
+
+class TestSelectiveRecorder:
+    def test_records_only_requested_windows(self):
+        windows = make_windows()
+        recorder = SelectiveTraceRecorder()
+        for window in windows:
+            recorder.observe(window, record=window.index in {2, 5})
+        report = recorder.report()
+        assert recorder.recorded_indices == [2, 5]
+        assert report.recorded_windows == 2
+        assert report.total_windows == len(windows)
+        assert report.recorded_events == 10
+        assert 0 < report.recorded_bytes < report.total_bytes
+
+    def test_reduction_factor(self):
+        windows = make_windows()
+        recorder = SelectiveTraceRecorder()
+        for window in windows:
+            recorder.observe(window, record=window.index == 0)
+        report = recorder.report()
+        assert report.reduction_factor == pytest.approx(
+            report.total_bytes / report.recorded_bytes
+        )
+        assert report.recorded_fraction == pytest.approx(
+            report.recorded_bytes / report.total_bytes
+        )
+
+    def test_reduction_factor_edge_cases(self):
+        nothing = RecorderReport(0, 0, 0, 0, 0, 0)
+        assert nothing.reduction_factor == 1.0
+        assert nothing.recorded_fraction == 0.0
+        nothing_recorded = RecorderReport(10, 100, 1000, 0, 0, 0)
+        assert nothing_recorded.reduction_factor == float("inf")
+
+    def test_precomputed_bytes_are_trusted(self):
+        windows = make_windows(n_windows=2)
+        recorder = SelectiveTraceRecorder()
+        recorder.observe(windows[0], record=True, window_bytes=123)
+        recorder.observe(windows[1], record=False, window_bytes=77)
+        report = recorder.report()
+        assert report.recorded_bytes == 123
+        assert report.total_bytes == 200
+
+    def test_context_windows_recorded_around_anomaly(self):
+        windows = make_windows(n_windows=10)
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        for window in windows:
+            recorder.observe(window, record=window.index == 5)
+        # two windows before and after the anomalous one are kept
+        assert recorder.recorded_indices == [3, 4, 5, 6, 7]
+
+    def test_keep_events(self):
+        windows = make_windows(n_windows=3)
+        recorder = SelectiveTraceRecorder(keep_events=True)
+        for window in windows:
+            recorder.observe(window, record=True)
+        assert len(recorder.recorded_windows) == 3
+        plain = SelectiveTraceRecorder()
+        plain.observe(windows[0], record=True)
+        with pytest.raises(RecorderError):
+            _ = plain.recorded_windows
+
+    def test_output_file_contains_recorded_events(self, tmp_path):
+        windows = make_windows(n_windows=4)
+        path = tmp_path / "recorded.jsonl"
+        with SelectiveTraceRecorder(output_path=path) as recorder:
+            for window in windows:
+                recorder.observe(window, record=window.index in {1, 3})
+        saved = read_trace(path)
+        expected = [event for window in windows if window.index in {1, 3} for event in window.events]
+        assert saved == expected
+
+    def test_observe_after_close_rejected(self):
+        recorder = SelectiveTraceRecorder()
+        recorder.close()
+        with pytest.raises(RecorderError):
+            recorder.observe(make_windows(1)[0], record=True)
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(RecorderError):
+            SelectiveTraceRecorder(context_windows=-1)
+
+    def test_report_to_dict_is_consistent(self):
+        windows = make_windows()
+        recorder = SelectiveTraceRecorder()
+        for window in windows:
+            recorder.observe(window, record=True)
+        payload = recorder.report().to_dict()
+        assert payload["recorded_bytes"] == payload["total_bytes"]
+        assert payload["reduction_factor"] == pytest.approx(1.0)
+
+
+class TestFullRecorder:
+    def test_records_everything(self):
+        windows = make_windows()
+        recorder = FullTraceRecorder()
+        for window in windows:
+            recorder.observe(window)
+        report = recorder.report()
+        assert report.recorded_windows == report.total_windows == len(windows)
+        assert report.recorded_bytes == report.total_bytes
+        expected_bytes = sum(encoded_trace_size(window.events) for window in windows)
+        assert report.total_bytes == expected_bytes
+        recorder.close()

@@ -1,0 +1,147 @@
+"""End-to-end tests of the ``repro-trace`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.trace.event import TraceEvent
+from repro.trace.generator import PeriodicTraceGenerator
+from repro.trace.writer import write_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path, normal_mix, anomaly_mix):
+    """A small synthetic trace written to disk for the CLI to consume."""
+    generator = PeriodicTraceGenerator(
+        normal_mix,
+        anomaly_mix,
+        anomaly_intervals=[(8.0, 10.0)],
+        rate_per_s=2_000,
+        seed=13,
+    )
+    path = tmp_path / "trace.jsonl"
+    write_trace(generator.events(16.0), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("simulate", "stats", "learn", "monitor", "experiment", "sweep"):
+            assert parser.parse_args([command] + (
+                ["--output", "x"] if command == "simulate" else
+                ["t"] if command in {"stats", "learn", "monitor"} else []
+            ) + (["--model", "m"] if command == "learn" else [])).command == command
+
+
+class TestStats:
+    def test_stats_text_output(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "event rate" in out
+
+    def test_stats_json_output(self, trace_file, capsys):
+        assert main(["--json", "stats", str(trace_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_events"] > 0
+
+    def test_missing_trace_reports_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLearnAndMonitor:
+    def test_learn_then_monitor_roundtrip(self, trace_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert (
+            main(
+                [
+                    "learn",
+                    str(trace_file),
+                    "--reference-s",
+                    "4",
+                    "--k",
+                    "10",
+                    "--model",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        assert model_path.exists()
+        capsys.readouterr()
+
+        recorded = tmp_path / "recorded.jsonl"
+        assert (
+            main(
+                [
+                    "--json",
+                    "monitor",
+                    str(trace_file),
+                    "--model",
+                    str(model_path),
+                    "--k",
+                    "10",
+                    "--alpha",
+                    "1.3",
+                    "--output",
+                    str(recorded),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["windows"] > 0
+        assert payload["reduction_factor"] > 1.0
+
+    def test_monitor_without_model_learns_from_prefix(self, trace_file, capsys):
+        assert (
+            main(
+                [
+                    "--json",
+                    "monitor",
+                    str(trace_file),
+                    "--reference-s",
+                    "4",
+                    "--k",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["anomalous"] >= 0
+
+
+class TestSimulate:
+    def test_simulate_writes_trace_and_qos_log(self, tmp_path, capsys):
+        output = tmp_path / "sim.jsonl"
+        qos = tmp_path / "qos.json"
+        code = main(
+            [
+                "--json",
+                "simulate",
+                "--duration",
+                "120",
+                "--reference-s",
+                "30",
+                "--output",
+                str(output),
+                "--qos",
+                str(qos),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_events"] > 0
+        assert output.exists()
+        qos_payload = json.loads(qos.read_text())
+        assert "perturbations" in qos_payload and "errors" in qos_payload

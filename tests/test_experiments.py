@@ -1,0 +1,167 @@
+"""Integration tests for the experiment drivers, sweeps and reports."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.labeling import WindowLabel, label_windows
+from repro.config import DetectorConfig, MonitorConfig
+from repro.errors import ExperimentError
+from repro.experiments.endurance import run_experiment_on_trace
+from repro.experiments.report import (
+    ascii_line_plot,
+    format_csv,
+    format_table,
+    render_alpha_sweep,
+    render_headline,
+    render_sweep,
+)
+from repro.experiments.sweep import (
+    alpha_sweep,
+    k_sweep,
+    kl_gate_sweep,
+    reference_length_sweep,
+    window_size_sweep,
+)
+
+
+class TestEnduranceExperiment:
+    def test_detection_quality_on_mini_run(self, mini_experiment):
+        metrics = mini_experiment.metrics
+        assert metrics.precision > 0.5
+        assert metrics.recall > 0.5
+        assert mini_experiment.monitor_result.report.reduction_factor > 2.0
+
+    def test_summary_fields(self, mini_experiment):
+        summary = mini_experiment.summary()
+        for key in (
+            "precision",
+            "recall",
+            "reduction_factor",
+            "n_events",
+            "n_qos_errors",
+            "delta_start_s",
+            "alpha",
+        ):
+            assert key in summary
+        assert summary["alpha"] == mini_experiment.alpha
+
+    def test_ground_truth_delays_positive(self, mini_experiment):
+        assert mini_experiment.ground_truth.delta_start_us > 0.0
+
+    def test_metrics_at_matches_recorded_run_at_same_alpha(self, mini_experiment):
+        at_alpha = mini_experiment.metrics_at(mini_experiment.alpha)
+        assert at_alpha.precision == pytest.approx(mini_experiment.metrics.precision)
+        assert at_alpha.recall == pytest.approx(mini_experiment.metrics.recall)
+        assert at_alpha.recorded_bytes == mini_experiment.metrics.recorded_bytes
+
+    def test_metrics_at_invalid_alpha(self, mini_experiment):
+        with pytest.raises(ExperimentError):
+            mini_experiment.metrics_at(0.0)
+
+    def test_labels_cover_every_monitored_window(self, mini_experiment):
+        labels = label_windows(mini_experiment.decisions, mini_experiment.ground_truth)
+        assert len(labels) == mini_experiment.monitor_result.n_windows
+        assert WindowLabel.TRUE_POSITIVE in labels
+        assert WindowLabel.TRUE_NEGATIVE in labels
+
+    def test_rerun_on_trace_with_other_detector(self, mini_trace, mini_config):
+        result = run_experiment_on_trace(
+            mini_trace,
+            mini_config,
+            detector_config=DetectorConfig(k_neighbours=10, lof_threshold=2.0),
+        )
+        assert result.monitor_result.n_windows > 0
+        assert result.config is mini_config
+
+
+class TestSweeps:
+    def test_alpha_sweep_monotone_trends(self, mini_experiment):
+        points = alpha_sweep(mini_experiment, [1.0, 1.2, 1.5, 2.0, 3.0])
+        assert len(points) == 5
+        flagged = [p.n_flagged for p in points]
+        assert flagged == sorted(flagged, reverse=True)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+        reductions = [p.reduction_factor for p in points]
+        assert reductions == sorted(reductions)
+
+    def test_alpha_sweep_requires_values(self, mini_experiment):
+        with pytest.raises(ExperimentError):
+            alpha_sweep(mini_experiment, [])
+
+    def test_window_size_sweep_reuses_trace(self, mini_trace, mini_config):
+        points = window_size_sweep(mini_config, [20_000, 80_000], trace=mini_trace)
+        assert [p.value for p in points] == [20_000, 80_000]
+        assert all(0.0 <= p.precision <= 1.0 for p in points)
+
+    def test_k_sweep(self, mini_trace, mini_config):
+        points = k_sweep(mini_config, [5, 25], trace=mini_trace)
+        assert [p.value for p in points] == [5, 25]
+        assert all(p.reduction_factor > 1.0 for p in points)
+
+    def test_kl_gate_sweep_includes_disabled_gate(self, mini_trace, mini_config):
+        points = kl_gate_sweep(mini_config, [0.05], trace=mini_trace)
+        assert points[-1].parameter == "kl_gate_disabled"
+        gated, ungated = points[0], points[-1]
+        # disabling the gate can only increase the number of LOF computations
+        assert ungated.lof_computation_rate >= gated.lof_computation_rate
+
+    def test_reference_length_sweep_validates_overlap(self, mini_trace, mini_config):
+        with pytest.raises(ExperimentError):
+            reference_length_sweep(mini_config, [1_000.0], trace=mini_trace)
+        points = reference_length_sweep(mini_config, [30.0, 40.0], trace=mini_trace)
+        assert [p.value for p in points] == [30.0, 40.0]
+
+    def test_empty_sweeps_rejected(self, mini_config, mini_trace):
+        with pytest.raises(ExperimentError):
+            window_size_sweep(mini_config, [], trace=mini_trace)
+        with pytest.raises(ExperimentError):
+            k_sweep(mini_config, [], trace=mini_trace)
+        with pytest.raises(ExperimentError):
+            reference_length_sweep(mini_config, [], trace=mini_trace)
+        with pytest.raises(ExperimentError):
+            kl_gate_sweep(mini_config, [], include_disabled_gate=False, trace=mini_trace)
+
+
+class TestReports:
+    def test_format_table_alignment_and_validation(self):
+        text = format_table(["name", "value"], [["alpha", 1.23456], ["windows", 42]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text and "42" in text
+        with pytest.raises(ExperimentError):
+            format_table(["a"], [["too", "many"]])
+
+    def test_format_csv(self):
+        text = format_csv(["a", "b"], [[1, 2.5], [3, float("inf")]])
+        assert text.splitlines()[0] == "a,b"
+        assert "inf" in text
+
+    def test_ascii_line_plot_contains_markers(self):
+        plot = ascii_line_plot([1.0, 2.0, 3.0], {"precision": [0.1, 0.5, 0.9]})
+        assert "*" in plot
+        assert "precision" in plot
+        with pytest.raises(ExperimentError):
+            ascii_line_plot([], {})
+        with pytest.raises(ExperimentError):
+            ascii_line_plot([1.0], {"s": [0.1, 0.2]})
+
+    def test_render_alpha_sweep_and_headline(self, mini_experiment):
+        points = alpha_sweep(mini_experiment, [1.0, 1.5, 2.0])
+        figure = render_alpha_sweep(points)
+        assert "Figure 1" in figure
+        assert "precision" in figure
+        headline = render_headline(mini_experiment.summary())
+        assert "78.9" in headline  # the paper's number is always shown for comparison
+        assert "reduction factor" in headline
+
+    def test_render_sweep(self, mini_trace, mini_config):
+        points = k_sweep(mini_config, [10], trace=mini_trace)
+        text = render_sweep("Ablation B", points)
+        assert "Ablation B" in text
+        assert "k_neighbours" in text
+        with pytest.raises(ExperimentError):
+            render_sweep("empty", [])

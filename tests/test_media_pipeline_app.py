@@ -1,0 +1,172 @@
+"""Integration tests for the multimedia pipeline, the perturbation injector
+and the complete endurance run."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    EnduranceConfig,
+    MediaConfig,
+    MonitorConfig,
+    PerturbationConfig,
+    PlatformConfig,
+)
+from repro.errors import SimulationError
+from repro.media.app import EnduranceRun
+from repro.media.perturbation import PerturbationInterval, plan_intervals
+from repro.media.pipeline import MediaPipeline
+from repro.platform.cpu import Core
+from repro.platform.memory import MemoryModel
+from repro.platform.scheduler import RoundRobinScheduler
+from repro.platform.simulator import Simulator
+from repro.platform.tracer import HardwareTracer
+from repro.trace.event import EventType
+
+
+def run_pipeline_only(duration_s=20.0, seed=5):
+    """Run the pipeline without perturbations and return (pipeline, tracer)."""
+    simulator = Simulator()
+    tracer = HardwareTracer()
+    scheduler = RoundRobinScheduler(
+        simulator, [Core(0)], tracer, memory=MemoryModel(), quantum_us=4_000
+    )
+    pipeline = MediaPipeline.build(
+        simulator, scheduler, tracer, MediaConfig(duration_s=duration_s, seed=seed)
+    )
+    until_us = int(duration_s * 1e6)
+    pipeline.start(until_us)
+    simulator.run(until_us=until_us)
+    return pipeline, tracer
+
+
+class TestPerturbationPlanning:
+    def test_intervals_follow_schedule(self):
+        config = PerturbationConfig(start_offset_s=100.0, period_s=50.0, duration_s=10.0)
+        intervals = plan_intervals(config, run_duration_s=260.0)
+        assert [(i.start_s, i.end_s) for i in intervals] == [
+            (100.0, 110.0),
+            (150.0, 160.0),
+            (200.0, 210.0),
+        ]
+
+    def test_truncated_interval_discarded(self):
+        config = PerturbationConfig(start_offset_s=100.0, period_s=50.0, duration_s=10.0)
+        intervals = plan_intervals(config, run_duration_s=105.0)
+        assert intervals == []
+
+    def test_jitter_stays_reproducible(self):
+        config = PerturbationConfig(
+            start_offset_s=100.0, period_s=50.0, duration_s=10.0, jitter_s=5.0, seed=3
+        )
+        assert plan_intervals(config, 300.0) == plan_intervals(config, 300.0)
+
+    def test_interval_helpers(self):
+        interval = PerturbationInterval(10.0, 20.0)
+        assert interval.duration_s == 10.0
+        assert interval.contains(15e6)
+        assert not interval.contains(25e6)
+        with pytest.raises(SimulationError):
+            PerturbationInterval(20.0, 10.0)
+
+    def test_invalid_run_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            plan_intervals(PerturbationConfig(), 0.0)
+
+
+class TestHealthyPipeline:
+    def test_frames_displayed_at_real_time_rate(self):
+        pipeline, _ = run_pipeline_only(duration_s=20.0)
+        expected = 20.0 * 25.0
+        assert pipeline.frames_displayed() >= expected * 0.9
+        assert pipeline.frames_dropped() <= expected * 0.02
+
+    def test_no_qos_errors_without_perturbation(self):
+        pipeline, _ = run_pipeline_only(duration_s=20.0)
+        assert pipeline.qos_error_count() == 0
+
+    def test_pipeline_emits_expected_event_types(self):
+        _, tracer = run_pipeline_only(duration_s=5.0)
+        types = {event.etype for event in tracer.events()}
+        for expected in (
+            EventType.DEMUX_PACKET,
+            EventType.FRAME_DECODE_START,
+            EventType.FRAME_DECODE_END,
+            EventType.MB_ROW_DECODE,
+            EventType.FRAME_DISPLAY,
+            EventType.BUFFER_PUSH,
+            EventType.BUFFER_POP,
+            EventType.AUDIO_DECODE,
+            EventType.VSYNC,
+        ):
+            assert str(expected) in types
+
+    def test_buffer_reaches_steady_occupancy(self):
+        pipeline, _ = run_pipeline_only(duration_s=10.0)
+        assert pipeline.buffer.peak_level >= pipeline.buffer.capacity * 0.5
+
+
+class TestEnduranceRun:
+    def test_trace_bundle_contents(self, mini_trace, mini_config):
+        assert mini_trace.duration_s == pytest.approx(mini_config.media.duration_s)
+        assert mini_trace.n_events > 50_000
+        assert len(mini_trace.perturbation_intervals) == 2
+        assert mini_trace.frames_displayed > 0
+        assert mini_trace.scheduler_jobs > 1_000
+        assert 0.0 < mini_trace.core_utilisation[0] <= 1.0
+
+    def test_timestamps_sorted(self, mini_trace):
+        timestamps = [event.timestamp_us for event in mini_trace.events]
+        assert timestamps == sorted(timestamps)
+
+    def test_qos_errors_concentrated_in_perturbations(self, mini_trace):
+        error_times = np.array(mini_trace.qos_timestamps_us()) / 1e6
+        assert len(error_times) > 50
+        in_impact = 0
+        for t in error_times:
+            for interval in mini_trace.perturbation_intervals:
+                if interval.start_s <= t <= interval.end_s + 10.0:
+                    in_impact += 1
+                    break
+        assert in_impact / len(error_times) > 0.95
+
+    def test_application_scope_excludes_kernel_events(self, mini_trace):
+        types = {event.etype for event in mini_trace.events}
+        assert str(EventType.SCHED_SWITCH) not in types
+        assert str(EventType.FRAME_DECODE_END) in types
+
+    def test_full_scope_includes_kernel_events(self):
+        config = EnduranceConfig(
+            platform=PlatformConfig(trace_scope="full"),
+            monitor=MonitorConfig(reference_duration_us=10_000_000),
+            media=MediaConfig(duration_s=20.0, seed=1),
+            perturbation=PerturbationConfig(start_offset_s=12.0, period_s=100.0, duration_s=5.0),
+        )
+        trace = EnduranceRun(config).run()
+        types = {event.etype for event in trace.events}
+        assert str(EventType.SCHED_SWITCH) in types
+        assert str(EventType.TIMER_TICK) in types
+
+    def test_run_is_single_use(self, mini_config):
+        config = dataclasses.replace(
+            mini_config, media=dataclasses.replace(mini_config.media, duration_s=50.0)
+        )
+        run = EnduranceRun(config)
+        run.run()
+        with pytest.raises(SimulationError):
+            run.run()
+
+    def test_same_seed_reproducible(self):
+        config = EnduranceConfig(
+            monitor=MonitorConfig(reference_duration_us=5_000_000),
+            media=MediaConfig(duration_s=15.0, seed=21),
+            perturbation=PerturbationConfig(start_offset_s=8.0, period_s=100.0, duration_s=4.0),
+        )
+        first = EnduranceRun(config).run()
+        second = EnduranceRun(config).run()
+        assert first.n_events == second.n_events
+        assert first.events[:100] == second.events[:100]
+        assert len(first.qos_messages) == len(second.qos_messages)

@@ -1,0 +1,142 @@
+"""Tests for the video workload model, the frame buffer and the QoS monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MediaConfig
+from repro.errors import PipelineError
+from repro.media.bufferqueue import FrameBuffer
+from repro.media.qos import QosMessage, QosMonitor
+from repro.media.workload import FrameKind, VideoWorkload
+from repro.platform.tracer import HardwareTracer
+
+
+@pytest.fixture()
+def workload():
+    return VideoWorkload(MediaConfig(duration_s=10.0, seed=3))
+
+
+class TestVideoWorkload:
+    def test_frame_count_matches_duration(self, workload):
+        assert workload.n_frames == 250
+        assert workload.frame_period_us == pytest.approx(40_000.0)
+
+    def test_gop_structure(self, workload):
+        config = workload.config
+        assert workload.kind_of(0) is FrameKind.I
+        assert workload.kind_of(config.gop_length) is FrameKind.I
+        kinds = {workload.kind_of(i) for i in range(1, config.gop_length)}
+        assert FrameKind.P in kinds and FrameKind.B in kinds
+
+    def test_frames_are_deterministic(self):
+        first = VideoWorkload(MediaConfig(duration_s=5.0, seed=9))
+        second = VideoWorkload(MediaConfig(duration_s=5.0, seed=9))
+        assert [f.decode_cost_us for f in first.frames()] == [
+            f.decode_cost_us for f in second.frames()
+        ]
+
+    def test_different_seeds_differ(self):
+        first = VideoWorkload(MediaConfig(duration_s=5.0, seed=1))
+        second = VideoWorkload(MediaConfig(duration_s=5.0, seed=2))
+        assert [f.decode_cost_us for f in first.frames()] != [
+            f.decode_cost_us for f in second.frames()
+        ]
+
+    def test_i_frames_cost_more_than_b_frames(self, workload):
+        costs = {FrameKind.I: [], FrameKind.P: [], FrameKind.B: []}
+        for frame in workload.frames():
+            costs[frame.kind].append(frame.decode_cost_us)
+        mean = lambda values: sum(values) / len(values)
+        assert mean(costs[FrameKind.I]) > mean(costs[FrameKind.P]) > mean(costs[FrameKind.B])
+
+    def test_decode_cost_leaves_real_time_headroom(self, workload):
+        # the decoder must on average be faster than real time, otherwise no
+        # reference behaviour exists and the paper's setup makes no sense
+        assert workload.mean_decode_cost_us() < 0.8 * workload.frame_period_us
+
+    def test_presentation_timestamps_are_regular(self, workload):
+        frames = [workload.frame(i) for i in range(5)]
+        deltas = [
+            second.presentation_us - first.presentation_us
+            for first, second in zip(frames, frames[1:])
+        ]
+        assert all(delta == 40_000 for delta in deltas)
+
+    def test_out_of_range_frame_rejected(self, workload):
+        with pytest.raises(PipelineError):
+            workload.frame(workload.n_frames)
+
+    def test_audio_chunk_period(self, workload):
+        assert workload.audio_chunk_period_us() == pytest.approx(1024 / 48_000 * 1e6)
+
+
+class TestFrameBuffer:
+    def _buffer(self, capacity=3):
+        return FrameBuffer(capacity, HardwareTracer()), VideoWorkload(MediaConfig(duration_s=1.0))
+
+    def test_push_pop_fifo(self):
+        buffer, workload = self._buffer()
+        for index in range(3):
+            assert buffer.push(workload.frame(index), timestamp_us=index)
+        assert buffer.is_full
+        assert buffer.pop(10).index == 0
+        assert buffer.pop(11).index == 1
+        assert buffer.level == 1
+        assert buffer.peak_level == 3
+
+    def test_overrun_and_underrun_are_traced(self):
+        buffer, workload = self._buffer(capacity=1)
+        assert buffer.push(workload.frame(0), 0)
+        assert not buffer.push(workload.frame(1), 1)   # overrun
+        assert buffer.overruns == 1
+        buffer.pop(2)
+        assert buffer.pop(3) is None                   # underrun
+        assert buffer.underruns == 1
+        types = [event.etype for event in buffer.tracer.events()]
+        assert "buffer_overrun" in types and "buffer_underrun" in types
+
+    def test_fill_fraction_and_level_event(self):
+        buffer, workload = self._buffer(capacity=4)
+        buffer.push(workload.frame(0), 0)
+        assert buffer.fill_fraction() == pytest.approx(0.25)
+        buffer.emit_level(5)
+        assert buffer.tracer.events()[-1].etype == "buffer_level"
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(PipelineError):
+            FrameBuffer(0, HardwareTracer())
+
+
+class TestQosMonitor:
+    def test_messages_collected_without_trace_mirroring(self):
+        tracer = HardwareTracer()
+        qos = QosMonitor(tracer)
+        qos.report(100, "underrun")
+        qos.report(200, "frame_drop", frame_index=3, lateness_us=80_000)
+        assert qos.n_messages == 2
+        assert tracer.n_events == 0  # side channel only by default
+        assert qos.timestamps_us() == [100, 200]
+
+    def test_mirroring_emits_trace_events(self):
+        tracer = HardwareTracer()
+        qos = QosMonitor(tracer, mirror_to_trace=True)
+        qos.report(100, "underrun")
+        assert tracer.n_events == 1
+        assert tracer.events()[0].etype == "qos_error"
+
+    def test_messages_between(self):
+        qos = QosMonitor(HardwareTracer())
+        for t in (10, 20, 30):
+            qos.report(t, "underrun")
+        assert [m.timestamp_us for m in qos.messages_between(15, 31)] == [20, 30]
+
+    def test_count_by_reason(self):
+        messages = [QosMessage(1, "underrun"), QosMessage(2, "underrun"), QosMessage(3, "late_frame")]
+        assert QosMonitor.count_by_reason(messages) == {"underrun": 2, "late_frame": 1}
+
+    def test_invalid_messages_rejected(self):
+        with pytest.raises(PipelineError):
+            QosMessage(-1, "underrun")
+        with pytest.raises(PipelineError):
+            QosMessage(1, "")

@@ -1,0 +1,176 @@
+"""Tests for cores, tasks, jobs, the memory model, the tracer and interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.cpu import Core
+from repro.platform.interrupt import TimerInterruptSource
+from repro.platform.memory import MemoryModel
+from repro.platform.simulator import Simulator
+from repro.platform.task import Job, Task
+from repro.platform.tracer import HardwareTracer
+from repro.trace.event import EventType
+
+
+class TestCore:
+    def test_speed_factor_scales_with_frequency(self):
+        assert Core(0, frequency_mhz=2000).speed_factor == pytest.approx(1.0)
+        assert Core(0, frequency_mhz=1000).speed_factor == pytest.approx(0.5)
+
+    def test_wall_time_and_service_are_inverse(self):
+        core = Core(0, frequency_mhz=1000)
+        assert core.wall_time_for(10.0) == pytest.approx(20.0)
+        assert core.service_in(20.0) == pytest.approx(10.0)
+
+    def test_utilisation(self):
+        core = Core(0)
+        core.account_busy(50.0)
+        assert core.utilisation(100.0) == pytest.approx(0.5)
+        assert core.utilisation(0.0) == 0.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(SimulationError):
+            Core(-1)
+        with pytest.raises(SimulationError):
+            Core(0, frequency_mhz=0)
+        with pytest.raises(SimulationError):
+            Core(0).wall_time_for(-1)
+        with pytest.raises(SimulationError):
+            Core(0).account_busy(-1)
+
+
+class TestTaskAndJob:
+    def test_task_requires_name(self):
+        with pytest.raises(SimulationError):
+            Task(name="")
+
+    def test_job_consumption(self):
+        job = Job(task=Task("decoder"), service_us=100.0)
+        assert not job.is_complete
+        assert job.consume(60.0) == pytest.approx(60.0)
+        assert job.consume(60.0) == pytest.approx(40.0)  # clipped to remaining
+        assert job.is_complete
+
+    def test_job_rejects_invalid_values(self):
+        with pytest.raises(SimulationError):
+            Job(task=Task("t"), service_us=0.0)
+        with pytest.raises(SimulationError):
+            Job(task=Task("t"), service_us=10.0).consume(-1.0)
+
+    def test_turnaround_requires_both_timestamps(self):
+        job = Job(task=Task("t"), service_us=10.0)
+        assert job.turnaround_us is None
+        job.submitted_at_us = 100
+        job.completed_at_us = 180
+        assert job.turnaround_us == pytest.approx(80.0)
+
+    def test_job_ids_are_unique_and_increasing(self):
+        first = Job(task=Task("t"), service_us=1.0)
+        second = Job(task=Task("t"), service_us=1.0)
+        assert second.job_id > first.job_id
+
+
+class TestMemoryModel:
+    def test_no_contention_for_single_task(self):
+        model = MemoryModel(contention_per_task=0.2)
+        assert model.slowdown(0) == 1.0
+        assert model.slowdown(1) == 1.0
+
+    def test_linear_slowdown(self):
+        model = MemoryModel(contention_per_task=0.2)
+        assert model.slowdown(3) == pytest.approx(1.4)
+        assert model.effective_speed(3) == pytest.approx(1 / 1.4)
+
+    def test_stall_events_only_under_contention(self):
+        model = MemoryModel(stall_event_period_us=1000)
+        assert model.stall_events_in(5_000, 1) == 0
+        assert model.stall_events_in(5_000, 2) == 5
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryModel(contention_per_task=-0.1)
+        with pytest.raises(SimulationError):
+            MemoryModel(stall_event_period_us=0)
+        with pytest.raises(SimulationError):
+            MemoryModel().slowdown(-1)
+
+
+class TestHardwareTracer:
+    def test_collects_events_in_order(self):
+        tracer = HardwareTracer()
+        tracer.emit(10, EventType.TIMER_TICK)
+        tracer.emit(20, EventType.VSYNC, core=1, task="sink", args={"x": 1})
+        events = tracer.events()
+        assert [event.timestamp_us for event in events] == [10, 20]
+        assert events[1].args == {"x": 1}
+        assert tracer.n_events == 2
+
+    def test_small_reorderings_are_clamped(self):
+        tracer = HardwareTracer()
+        tracer.emit(100, "a")
+        tracer.emit(90, "b")  # emitted late by a same-instant callback
+        assert [event.timestamp_us for event in tracer.events()] == [100, 100]
+
+    def test_disabled_tracer_drops_everything(self):
+        tracer = HardwareTracer(enabled=False)
+        tracer.emit(0, "a")
+        assert tracer.n_events == 0
+        assert tracer.n_dropped == 1
+
+    def test_event_filter(self):
+        tracer = HardwareTracer(event_filter={"vsync"})
+        tracer.emit(0, EventType.VSYNC)
+        tracer.emit(1, EventType.SCHED_SWITCH)
+        assert tracer.n_events == 1
+        assert tracer.n_dropped == 1
+        assert tracer.events()[0].etype == "vsync"
+
+    def test_buffer_batches(self):
+        tracer = HardwareTracer(buffer_events=3)
+        for t in range(8):
+            tracer.emit(t, "tick")
+        batches = list(tracer.buffer_batches())
+        assert [len(batch) for batch in batches] == [3, 3, 2]
+        assert tracer.flush_count == 2
+
+    def test_stream_wraps_events(self):
+        tracer = HardwareTracer()
+        tracer.emit(0, "a")
+        tracer.emit(1, "b")
+        assert [event.etype for event in tracer.stream().events()] == ["a", "b"]
+
+    def test_clear_resets_state(self):
+        tracer = HardwareTracer(buffer_events=1)
+        tracer.emit(5, "a")
+        tracer.clear()
+        assert tracer.n_events == 0
+        assert tracer.flush_count == 0
+        tracer.emit(1, "b")  # timestamps may restart after clear
+        assert tracer.events()[0].timestamp_us == 1
+
+    def test_invalid_buffer_size_rejected(self):
+        with pytest.raises(SimulationError):
+            HardwareTracer(buffer_events=0)
+
+
+class TestTimerInterruptSource:
+    def test_emits_irq_triplets(self):
+        simulator = Simulator()
+        tracer = HardwareTracer()
+        timer = TimerInterruptSource(simulator, tracer, period_us=1000)
+        timer.start(until_us=3500)
+        simulator.run(until_us=3500)
+        types = [event.etype for event in tracer.events()]
+        assert types.count("irq_enter") == 3
+        assert types.count("timer_tick") == 3
+        assert types.count("irq_exit") == 3
+        assert timer.ticks == 3
+
+    def test_invalid_parameters_rejected(self):
+        simulator, tracer = Simulator(), HardwareTracer()
+        with pytest.raises(SimulationError):
+            TimerInterruptSource(simulator, tracer, period_us=0)
+        with pytest.raises(SimulationError):
+            TimerInterruptSource(simulator, tracer, service_time_us=-1)

@@ -1,0 +1,125 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.simulator import Simulator
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(30, lambda: order.append("c"))
+        simulator.schedule_at(10, lambda: order.append("a"))
+        simulator.schedule_at(20, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+        assert simulator.now_us == 30
+
+    def test_simultaneous_callbacks_run_in_scheduling_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(10, lambda: order.append("first"))
+        simulator.schedule_at(10, lambda: order.append("second"))
+        simulator.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_in_is_relative_to_now(self):
+        simulator = Simulator(start_us=100)
+        seen = []
+        simulator.schedule_in(50, lambda: seen.append(simulator.now_us))
+        simulator.run()
+        assert seen == [150]
+
+    def test_scheduling_in_the_past_rejected(self):
+        simulator = Simulator(start_us=100)
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(50, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule_in(-1, lambda: None)
+
+    def test_callbacks_can_schedule_more_work(self):
+        simulator = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(simulator.now_us)
+            if depth:
+                simulator.schedule_in(10, lambda: chain(depth - 1))
+
+        simulator.schedule_at(0, lambda: chain(3))
+        simulator.run()
+        assert seen == [0, 10, 20, 30]
+
+    def test_cancelled_event_does_not_run(self):
+        simulator = Simulator()
+        seen = []
+        handle = simulator.schedule_at(10, lambda: seen.append("no"))
+        simulator.schedule_at(5, lambda: seen.append("yes"))
+        handle.cancel()
+        simulator.run()
+        assert seen == ["yes"]
+
+    def test_periodic_scheduling_until_bound(self):
+        simulator = Simulator()
+        ticks = []
+        simulator.schedule_periodic(10, lambda: ticks.append(simulator.now_us), start_us=10, until_us=45)
+        simulator.run()
+        assert ticks == [10, 20, 30, 40]
+
+    def test_periodic_requires_positive_period(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(0, lambda: None)
+
+
+class TestRun:
+    def test_run_until_advances_clock_even_without_events(self):
+        simulator = Simulator()
+        simulator.schedule_at(10, lambda: None)
+        simulator.run(until_us=100)
+        assert simulator.now_us == 100
+
+    def test_run_until_leaves_later_events_pending(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(10, lambda: seen.append("early"))
+        simulator.schedule_at(200, lambda: seen.append("late"))
+        simulator.run(until_us=100)
+        assert seen == ["early"]
+        assert simulator.pending() == 1
+        simulator.run()
+        assert seen == ["early", "late"]
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule_in(1, forever)
+
+        simulator.schedule_at(0, forever)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_events_counter(self):
+        simulator = Simulator()
+        for t in range(5):
+            simulator.schedule_at(t, lambda: None)
+        simulator.run()
+        assert simulator.processed_events == 5
+
+    def test_reentrant_run_rejected(self):
+        simulator = Simulator()
+
+        def nested():
+            simulator.run()
+
+        simulator.schedule_at(0, nested)
+        with pytest.raises(SimulationError):
+            simulator.run()

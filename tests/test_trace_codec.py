@@ -1,0 +1,135 @@
+"""Unit and property tests for the trace codecs and size accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.codec import (
+    BinaryTraceCodec,
+    JsonTraceCodec,
+    _decode_varint,
+    _encode_varint,
+    encoded_event_size,
+    encoded_trace_size,
+)
+from repro.trace.event import EventTypeRegistry, TraceEvent
+
+
+def _sample_events():
+    return [
+        TraceEvent(0, "demux_packet", core=0, task="demuxer", args={"frame": 0, "bytes": 4321}),
+        TraceEvent(100, "frame_decode_start", core=0, task="decoder", args={"frame": 0}),
+        TraceEvent(14_000, "frame_decode_end", core=1, task="decoder", args={"frame": 0}),
+        TraceEvent(14_000, "buffer_push", core=1, task="converter", args={"level": 3}),
+        TraceEvent(40_000, "frame_display", core=0, task="sink"),
+    ]
+
+
+class TestVarint:
+    @given(value=st.integers(min_value=0, max_value=2**60))
+    def test_roundtrip(self, value):
+        encoded = _encode_varint(value)
+        decoded, offset = _decode_varint(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceFormatError):
+            _encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(TraceFormatError):
+            _decode_varint(b"\x80", 0)
+
+
+class TestBinaryCodec:
+    def test_roundtrip(self):
+        events = _sample_events()
+        blob = BinaryTraceCodec().encode(events)
+        decoded = BinaryTraceCodec().decode(blob)
+        assert decoded == events
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            BinaryTraceCodec().decode(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_header_rejected(self):
+        blob = BinaryTraceCodec().encode(_sample_events())
+        with pytest.raises(TraceFormatError):
+            BinaryTraceCodec().decode(blob[:6])
+
+    def test_out_of_order_events_rejected(self):
+        codec = BinaryTraceCodec()
+        with pytest.raises(TraceFormatError):
+            codec.encode_event(TraceEvent(5, "x"), previous_timestamp_us=10)
+
+    def test_event_size_positive_and_small(self):
+        event = TraceEvent(1_000, "vsync", core=0, task="sink")
+        size = encoded_event_size(event)
+        assert 0 < size < 64
+
+    def test_delta_encoding_shrinks_dense_traces(self):
+        # Two traces with identical content except for the absolute timestamps:
+        # the delta encoding should make the far-in-the-future trace barely
+        # larger than the one near zero (only the first delta differs).
+        near = [TraceEvent(i, "vsync") for i in range(0, 1_000, 10)]
+        far = [TraceEvent(10**12 + i, "vsync") for i in range(0, 1_000, 10)]
+        assert encoded_trace_size(far) <= encoded_trace_size(near) + 8
+
+    def test_unknown_registry_grows_on_encode(self):
+        registry = EventTypeRegistry()
+        codec = BinaryTraceCodec(registry)
+        codec.encode_event(TraceEvent(0, "brand_new_type"))
+        assert "brand_new_type" in registry
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        deltas=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60),
+        types=st.lists(
+            st.sampled_from(["a", "b", "c", "sched_switch", "frame_display"]),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    def test_roundtrip_property(self, deltas, types):
+        timestamp = 0
+        events = []
+        for delta, etype in zip(deltas, types):
+            timestamp += delta
+            events.append(TraceEvent(timestamp, etype, core=timestamp % 4, task="t"))
+        blob = BinaryTraceCodec().encode(events)
+        assert BinaryTraceCodec().decode(blob) == events
+
+
+class TestJsonCodec:
+    def test_roundtrip(self):
+        events = _sample_events()
+        text = JsonTraceCodec().encode(events)
+        assert list(JsonTraceCodec().decode(text)) == events
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            JsonTraceCodec().decode_event("{not json")
+
+    def test_blank_lines_ignored(self):
+        events = _sample_events()
+        text = JsonTraceCodec().encode(events) + "\n\n\n"
+        assert list(JsonTraceCodec().decode(text)) == events
+
+
+class TestSizeAccounting:
+    def test_total_size_is_sum_of_event_sizes_with_deltas(self):
+        events = _sample_events()
+        total = encoded_trace_size(events)
+        manual = 0
+        previous = 0
+        codec = BinaryTraceCodec()
+        for event in events:
+            manual += codec.event_size(event, previous)
+            previous = event.timestamp_us
+        assert total == manual
+
+    def test_empty_trace_has_zero_size(self):
+        assert encoded_trace_size([]) == 0

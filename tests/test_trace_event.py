@@ -1,0 +1,128 @@
+"""Unit tests for trace events and the event-type registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.event import (
+    APPLICATION_SCOPE_TYPES,
+    DEFAULT_REGISTRY,
+    EventType,
+    EventTypeRegistry,
+    TraceEvent,
+)
+
+
+class TestEventTypeRegistry:
+    def test_register_returns_dense_codes(self):
+        registry = EventTypeRegistry()
+        assert registry.register("a") == 0
+        assert registry.register("b") == 1
+        assert registry.register("a") == 0  # idempotent
+        assert len(registry) == 2
+
+    def test_code_and_name_roundtrip(self):
+        registry = EventTypeRegistry(["x", "y", "z"])
+        for name in ("x", "y", "z"):
+            assert registry.name(registry.code(name)) == name
+
+    def test_unknown_name_raises(self):
+        registry = EventTypeRegistry(["x"])
+        with pytest.raises(TraceFormatError):
+            registry.code("unknown")
+
+    def test_unknown_code_raises(self):
+        registry = EventTypeRegistry(["x"])
+        with pytest.raises(TraceFormatError):
+            registry.name(5)
+
+    def test_contains_and_iteration(self):
+        registry = EventTypeRegistry(["x", "y"])
+        assert "x" in registry
+        assert "nope" not in registry
+        assert list(registry) == ["x", "y"]
+        assert registry.names == ("x", "y")
+
+    def test_accepts_event_type_enum(self):
+        registry = EventTypeRegistry()
+        code = registry.register(EventType.SCHED_SWITCH)
+        assert registry.code("sched_switch") == code
+        assert EventType.SCHED_SWITCH in registry
+
+    def test_with_default_types_covers_every_enum_member(self):
+        registry = EventTypeRegistry.with_default_types()
+        assert len(registry) == len(EventType)
+        for event_type in EventType:
+            assert event_type in registry
+
+    def test_to_dict_from_dict_roundtrip(self):
+        registry = EventTypeRegistry(["a", "b", "c"])
+        rebuilt = EventTypeRegistry.from_dict(registry.to_dict())
+        assert rebuilt.names == registry.names
+
+    def test_from_dict_rejects_non_contiguous_codes(self):
+        with pytest.raises(TraceFormatError):
+            EventTypeRegistry.from_dict({"a": 0, "b": 2})
+
+    def test_default_registry_is_prepopulated(self):
+        assert len(DEFAULT_REGISTRY) == len(EventType)
+
+    def test_application_scope_is_a_strict_subset_of_all_types(self):
+        all_types = {event_type.value for event_type in EventType}
+        assert APPLICATION_SCOPE_TYPES < all_types
+        assert EventType.SCHED_SWITCH.value not in APPLICATION_SCOPE_TYPES
+        assert EventType.FRAME_DECODE_END.value in APPLICATION_SCOPE_TYPES
+
+
+class TestTraceEvent:
+    def test_basic_fields(self):
+        event = TraceEvent(10, EventType.FRAME_DISPLAY, core=1, task="sink", args={"frame": 3})
+        assert event.timestamp_us == 10
+        assert event.etype == "frame_display"
+        assert event.core == 1
+        assert event.task == "sink"
+        assert event.args["frame"] == 3
+        assert event.timestamp_s == pytest.approx(1e-5)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent(-1, "x")
+
+    def test_enum_etype_normalised_to_string(self):
+        event = TraceEvent(0, EventType.VSYNC)
+        assert isinstance(event.etype, str)
+        assert event.etype == "vsync"
+
+    def test_with_timestamp_shifts_only_time(self):
+        event = TraceEvent(5, "x", core=2, task="t", args={"k": 1})
+        moved = event.with_timestamp(99)
+        assert moved.timestamp_us == 99
+        assert (moved.etype, moved.core, moved.task, dict(moved.args)) == (
+            "x",
+            2,
+            "t",
+            {"k": 1},
+        )
+
+    def test_to_dict_from_dict_roundtrip(self):
+        event = TraceEvent(123, "custom_event", core=3, task="worker", args={"a": [1, 2]})
+        rebuilt = TraceEvent.from_dict(event.to_dict())
+        assert rebuilt == event
+
+    def test_from_dict_rejects_malformed_records(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_dict({"type": "x"})  # missing timestamp
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_dict({"t": "not-a-number", "type": "x"})
+
+    @given(
+        timestamp=st.integers(min_value=0, max_value=10**15),
+        etype=st.text(min_size=1, max_size=20),
+        core=st.integers(min_value=0, max_value=255),
+        task=st.text(max_size=10),
+    )
+    def test_dict_roundtrip_property(self, timestamp, etype, core, task):
+        event = TraceEvent(timestamp, etype, core=core, task=task)
+        assert TraceEvent.from_dict(event.to_dict()) == event

@@ -1,0 +1,104 @@
+"""Tests for the synthetic trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+
+
+class TestSyntheticTraceGenerator:
+    def test_deterministic_for_same_seed(self):
+        mix = {"a": 1.0, "b": 2.0}
+        first = list(SyntheticTraceGenerator(mix, rate_per_s=1000, seed=3).events(1.0))
+        second = list(SyntheticTraceGenerator(mix, rate_per_s=1000, seed=3).events(1.0))
+        assert first == second
+
+    def test_different_seed_differs(self):
+        mix = {"a": 1.0, "b": 2.0}
+        first = list(SyntheticTraceGenerator(mix, rate_per_s=1000, seed=1).events(1.0))
+        second = list(SyntheticTraceGenerator(mix, rate_per_s=1000, seed=2).events(1.0))
+        assert first != second
+
+    def test_rate_approximately_respected(self):
+        events = list(
+            SyntheticTraceGenerator({"a": 1.0}, rate_per_s=5000, seed=0).events(2.0)
+        )
+        assert 8_000 < len(events) < 12_000
+
+    def test_mix_approximately_respected(self):
+        events = list(
+            SyntheticTraceGenerator({"a": 3.0, "b": 1.0}, rate_per_s=5000, seed=0).events(2.0)
+        )
+        fraction_a = sum(1 for event in events if event.etype == "a") / len(events)
+        assert 0.70 < fraction_a < 0.80
+
+    def test_timestamps_sorted_and_in_range(self):
+        events = list(
+            SyntheticTraceGenerator({"a": 1.0}, rate_per_s=2000, seed=0).events(
+                1.0, start_us=500_000
+            )
+        )
+        timestamps = [event.timestamp_us for event in events]
+        assert timestamps == sorted(timestamps)
+        assert all(500_000 <= t < 1_500_000 for t in timestamps)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator({}, rate_per_s=100)
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator({"a": 1.0}, rate_per_s=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator({"a": -1.0})
+        with pytest.raises(ConfigurationError):
+            list(SyntheticTraceGenerator({"a": 1.0}).events(0))
+
+    def test_anomalous_variant_shifts_mix(self):
+        base = SyntheticTraceGenerator({"a": 1.0, "b": 1.0}, rate_per_s=3000, seed=0)
+        shifted = base.anomalous_variant({"b": 5.0})
+        events = list(shifted.events(2.0))
+        fraction_b = sum(1 for event in events if event.etype == "b") / len(events)
+        assert fraction_b > 0.7
+
+
+class TestPeriodicTraceGenerator:
+    def _generator(self, **kwargs):
+        defaults = dict(
+            normal_mix={"normal": 1.0},
+            anomaly_mix={"weird": 1.0},
+            anomaly_intervals=[(1.0, 2.0)],
+            rate_per_s=3000,
+            seed=5,
+        )
+        defaults.update(kwargs)
+        return PeriodicTraceGenerator(**defaults)
+
+    def test_anomalous_events_only_inside_intervals(self):
+        events = list(self._generator().events(3.0))
+        for event in events:
+            t_s = event.timestamp_us / 1e6
+            if event.etype == "weird":
+                assert 1.0 <= t_s < 2.0
+            else:
+                assert not (1.0 <= t_s < 2.0)
+
+    def test_anomaly_rate_override(self):
+        generator = self._generator(anomaly_rate_per_s=9000)
+        events = list(generator.events(3.0))
+        inside = sum(1 for e in events if 1.0 <= e.timestamp_us / 1e6 < 2.0)
+        outside = len(events) - inside
+        # the anomalous second is ~3x denser than a normal second (of which there are 2)
+        assert inside > outside
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._generator(anomaly_intervals=[(2.0, 1.0)])
+
+    def test_task_field_marks_regime(self):
+        events = list(self._generator().events(3.0))
+        assert {event.task for event in events} == {"normal", "anomaly"}
+
+    def test_deterministic(self):
+        assert list(self._generator().events(2.0)) == list(self._generator().events(2.0))

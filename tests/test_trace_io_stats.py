@@ -1,0 +1,103 @@
+"""Tests for trace file IO (reader/writer) and trace statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.event import TraceEvent
+from repro.trace.reader import iter_trace_file, read_trace
+from repro.trace.stats import summarize, summarize_windows
+from repro.trace.stream import windows_by_duration
+from repro.trace.writer import write_trace
+
+
+def _events():
+    return [
+        TraceEvent(0, "demux_packet", core=0, task="demuxer"),
+        TraceEvent(500, "frame_decode_start", core=0, task="decoder"),
+        TraceEvent(14_000, "frame_decode_end", core=0, task="decoder"),
+        TraceEvent(40_000, "frame_display", core=1, task="sink"),
+        TraceEvent(1_000_000, "frame_display", core=1, task="sink"),
+    ]
+
+
+class TestReadWrite:
+    def test_binary_roundtrip(self, tmp_path):
+        path = write_trace(_events(), tmp_path / "trace.bin")
+        assert read_trace(path) == _events()
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = write_trace(_events(), tmp_path / "trace.jsonl")
+        assert read_trace(path) == _events()
+        assert list(iter_trace_file(path)) == _events()
+
+    def test_auto_format_follows_suffix(self, tmp_path):
+        binary = write_trace(_events(), tmp_path / "a.trace")
+        jsonl = write_trace(_events(), tmp_path / "b.jsonl")
+        assert binary.read_bytes()[:4] == b"RTRC"
+        assert jsonl.read_text().startswith("{")
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        path = write_trace(_events(), tmp_path / "a.jsonl", fmt="binary")
+        assert path.read_bytes()[:4] == b"RTRC"
+        assert read_trace(path) == _events()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            write_trace(_events(), tmp_path / "x.bin", fmt="xml")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            read_trace(tmp_path / "missing.bin")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_file(tmp_path / "missing.jsonl"))
+
+    def test_streaming_binary_rejected(self, tmp_path):
+        path = write_trace(_events(), tmp_path / "trace.bin")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_file(path))
+
+    def test_directories_created(self, tmp_path):
+        path = write_trace(_events(), tmp_path / "deep" / "nested" / "trace.jsonl")
+        assert path.exists()
+
+
+class TestStatistics:
+    def test_summarize_counts(self):
+        stats = summarize(_events())
+        assert stats.n_events == 5
+        assert stats.duration_us == 1_000_000
+        assert stats.type_counts["frame_display"] == 2
+        assert stats.task_counts["decoder"] == 2
+        assert stats.core_counts[1] == 2
+        assert stats.encoded_bytes > 0
+
+    def test_rates(self):
+        stats = summarize(_events())
+        assert stats.duration_s == pytest.approx(1.0)
+        assert stats.events_per_second == pytest.approx(5.0)
+        assert stats.bytes_per_second == pytest.approx(stats.encoded_bytes)
+
+    def test_type_fraction(self):
+        stats = summarize(_events())
+        assert stats.type_fraction("frame_display") == pytest.approx(0.4)
+        assert stats.type_fraction("unknown") == 0.0
+
+    def test_empty_trace(self):
+        stats = summarize([])
+        assert stats.n_events == 0
+        assert stats.events_per_second == 0.0
+        assert stats.bytes_per_second == 0.0
+        assert stats.type_fraction("anything") == 0.0
+
+    def test_summarize_windows_matches_flat_summary(self):
+        events = _events()
+        windows = list(windows_by_duration(events, 20_000))
+        assert summarize_windows(windows).n_events == summarize(events).n_events
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        payload = summarize(_events()).to_dict()
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,128 @@
+"""Unit and property tests for stream windowing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceStreamError
+from repro.trace.event import TraceEvent
+from repro.trace.stream import TraceStream, WindowPolicy, windows_by_count, windows_by_duration
+
+
+def _events(timestamps):
+    return [TraceEvent(int(t), "timer_tick") for t in timestamps]
+
+
+class TestWindowsByDuration:
+    def test_events_partitioned_into_consecutive_windows(self):
+        windows = list(windows_by_duration(_events([0, 10, 25, 30, 55]), 20))
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert [len(w) for w in windows] == [2, 2, 1]
+        assert windows[0].start_us == 0 and windows[0].end_us == 20
+        assert windows[2].start_us == 40 and windows[2].end_us == 60
+
+    def test_empty_windows_emitted_by_default(self):
+        windows = list(windows_by_duration(_events([0, 90]), 20))
+        assert [len(w) for w in windows] == [1, 0, 0, 0, 1]
+
+    def test_empty_windows_can_be_skipped(self):
+        windows = list(windows_by_duration(_events([0, 90]), 20, emit_empty=False))
+        assert [len(w) for w in windows] == [1, 1]
+
+    def test_unsorted_stream_rejected(self):
+        with pytest.raises(TraceStreamError):
+            list(windows_by_duration(_events([10, 5]), 20))
+
+    def test_event_before_start_rejected(self):
+        with pytest.raises(TraceStreamError):
+            list(windows_by_duration(_events([5]), 20, start_us=100))
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(TraceStreamError):
+            list(windows_by_duration(_events([0]), 0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        timestamps=st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=200),
+        duration=st.integers(min_value=1, max_value=5_000),
+    )
+    def test_partition_property(self, timestamps, duration):
+        events = _events(sorted(timestamps))
+        windows = list(windows_by_duration(events, duration))
+        # every event lands in exactly one window, order preserved
+        flattened = [event for window in windows for event in window.events]
+        assert flattened == events
+        # windows are consecutive and non-overlapping
+        for previous, current in zip(windows, windows[1:]):
+            assert current.start_us == previous.end_us
+            assert current.duration_us == duration
+
+
+class TestWindowsByCount:
+    def test_fixed_size_batches(self):
+        windows = list(windows_by_count(_events(range(10)), 4))
+        assert [len(w) for w in windows] == [4, 4, 2]
+        assert [w.index for w in windows] == [0, 1, 2]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(TraceStreamError):
+            list(windows_by_count(_events([0]), 0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_events=st.integers(min_value=1, max_value=200),
+        per_window=st.integers(min_value=1, max_value=50),
+    )
+    def test_all_events_kept_property(self, n_events, per_window):
+        events = _events(range(n_events))
+        windows = list(windows_by_count(events, per_window))
+        assert sum(len(w) for w in windows) == n_events
+        assert all(len(w) == per_window for w in windows[:-1])
+
+
+class TestTraceStream:
+    def test_single_pass_enforced(self):
+        stream = TraceStream(_events([0, 1, 2]))
+        list(stream.events())
+        with pytest.raises(TraceStreamError):
+            list(stream.events())
+
+    def test_windows_policies(self):
+        by_duration = TraceStream(_events([0, 10, 30])).windows(
+            WindowPolicy.BY_DURATION, window_duration_us=20
+        )
+        assert [len(w) for w in by_duration] == [2, 1]
+        by_count = TraceStream(_events([0, 10, 30])).windows(
+            WindowPolicy.BY_COUNT, events_per_window=2
+        )
+        assert [len(w) for w in by_count] == [2, 1]
+
+    def test_split_reference(self):
+        stream = TraceStream(_events(range(0, 100, 10)))
+        reference, live = stream.split_reference(50, window_duration_us=10)
+        live = list(live)
+        assert len(reference) == 5
+        assert [w.index for w in reference] == [0, 1, 2, 3, 4]
+        assert live[0].index == 5
+        assert sum(len(w) for w in reference) + sum(len(w) for w in live) == 10
+
+    def test_split_reference_requires_positive_duration(self):
+        with pytest.raises(TraceStreamError):
+            TraceStream(_events([0])).split_reference(0)
+
+    def test_from_windows_roundtrip(self):
+        windows = list(windows_by_duration(_events([0, 10, 25]), 20))
+        events = list(TraceStream.from_windows(windows).events())
+        assert [event.timestamp_us for event in events] == [0, 10, 25]
+
+    def test_merge_keeps_global_order(self):
+        merged = TraceStream.merge(
+            [TraceStream(_events([0, 20, 40])), TraceStream(_events([10, 30, 50]))]
+        )
+        assert [event.timestamp_us for event in merged.events()] == [0, 10, 20, 30, 40, 50]
+
+    def test_filtered(self):
+        events = [TraceEvent(0, "a"), TraceEvent(1, "b"), TraceEvent(2, "a")]
+        filtered = TraceStream(events).filtered(lambda event: event.etype == "a")
+        assert [event.timestamp_us for event in filtered.events()] == [0, 2]

@@ -1,0 +1,100 @@
+"""Unit tests for :class:`repro.trace.window.TraceWindow`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.event import EventType, TraceEvent
+from repro.trace.window import TraceWindow
+
+
+def _events(*timestamps, etype="timer_tick"):
+    return tuple(TraceEvent(t, etype) for t in timestamps)
+
+
+class TestConstruction:
+    def test_end_before_start_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceWindow(index=0, start_us=10, end_us=5)
+
+    def test_event_outside_extent_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceWindow(index=0, start_us=0, end_us=10, events=_events(50))
+
+    def test_events_out_of_order_rejected(self):
+        events = (TraceEvent(5, "a"), TraceEvent(3, "b"))
+        with pytest.raises(TraceFormatError):
+            TraceWindow(index=0, start_us=0, end_us=10, events=events)
+
+    def test_from_events_infers_extent(self):
+        window = TraceWindow.from_events(_events(5, 7, 11))
+        assert window.start_us == 5
+        assert window.end_us == 12
+        assert len(window) == 3
+
+    def test_from_events_empty_without_extent_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceWindow.from_events(())
+
+    def test_from_events_empty_with_extent(self):
+        window = TraceWindow.from_events((), start_us=0, end_us=100)
+        assert window.is_empty
+        assert window.duration_us == 100
+
+
+class TestAccessors:
+    def test_len_iter_bool(self, simple_window):
+        assert len(simple_window) == 8
+        assert list(simple_window) == list(simple_window.events)
+        assert bool(TraceWindow(0, 0, 10))  # empty windows are still truthy
+
+    def test_duration_and_midpoint(self):
+        window = TraceWindow(index=2, start_us=100, end_us=200)
+        assert window.duration_us == 100
+        assert window.midpoint_us == pytest.approx(150.0)
+
+    def test_type_counts_and_count(self, simple_window):
+        counts = simple_window.type_counts()
+        assert counts[str(EventType.DEMUX_PACKET)] == 1
+        assert simple_window.count(EventType.FRAME_DECODE_START) == 1
+        assert simple_window.count("missing_type") == 0
+
+    def test_events_of_type(self, simple_window):
+        displays = simple_window.events_of_type(EventType.FRAME_DISPLAY)
+        assert len(displays) == 1
+        assert displays[0].etype == "frame_display"
+
+    def test_tasks(self, simple_window):
+        assert {"demuxer", "decoder", "converter", "sink", "audio"} <= simple_window.tasks()
+
+    def test_overlaps(self):
+        window = TraceWindow(index=0, start_us=100, end_us=200)
+        assert window.overlaps(150, 250)
+        assert window.overlaps(0, 101)
+        assert not window.overlaps(200, 300)
+        assert not window.overlaps(0, 100)
+
+
+class TestSliceAndConcatenate:
+    def test_slice_keeps_only_contained_events(self):
+        window = TraceWindow.from_events(_events(0, 10, 20, 30), start_us=0, end_us=40)
+        sliced = window.slice(10, 25)
+        assert [event.timestamp_us for event in sliced.events] == [10, 20]
+        assert sliced.start_us == 10 and sliced.end_us == 25
+
+    def test_slice_outside_extent_returns_empty(self):
+        window = TraceWindow.from_events(_events(0, 10), start_us=0, end_us=20)
+        sliced = window.slice(100, 200)
+        assert sliced.is_empty
+
+    def test_concatenate_merges_and_sorts(self):
+        first = TraceWindow.from_events(_events(0, 10), start_us=0, end_us=20)
+        second = TraceWindow.from_events(_events(20, 30), start_us=20, end_us=40)
+        merged = TraceWindow.concatenate([second, first])
+        assert merged.start_us == 0 and merged.end_us == 40
+        assert [event.timestamp_us for event in merged.events] == [0, 10, 20, 30]
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceWindow.concatenate([])
