@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and archive the pytest-benchmark statistics.
+
+The default invocation runs the two throughput benchmarks (per-window and
+batched scoring plane) and writes their pytest-benchmark statistics to
+``BENCH_throughput.json`` at the repository root, so successive PRs leave a
+machine-readable performance trajectory behind::
+
+    python benchmarks/run_benchmarks.py                 # throughput only
+    python benchmarks/run_benchmarks.py --all           # every benchmark
+    python benchmarks/run_benchmarks.py -o custom.json  # different output
+
+Any extra arguments after ``--`` are forwarded to pytest verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+THROUGHPUT_BENCHMARKS = [
+    "benchmarks/test_bench_throughput.py",
+    "benchmarks/test_bench_throughput_batched.py",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_throughput.json",
+        help="pytest-benchmark JSON output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run the whole benchmarks/ directory instead of the throughput pair",
+    )
+    args, passthrough = parser.parse_known_args(argv)
+    if passthrough and passthrough[0] == "--":
+        passthrough = passthrough[1:]
+
+    targets = ["benchmarks"] if args.all else THROUGHPUT_BENCHMARKS
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "-q",
+        f"--benchmark-json={args.output}",
+        *passthrough,
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    print("+", " ".join(command))
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

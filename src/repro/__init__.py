@@ -12,6 +12,14 @@ The library has three layers:
   abstraction, Kullback-Leibler gate, Local Outlier Factor, online monitor,
   selective recorder) plus the evaluation protocol (labelling, metrics),
   baselines and the periodicity extension.
+* **Batch scoring plane** — a vectorized fast path cutting across the trace
+  and analysis layers: :class:`~repro.trace.batch.WindowBatch` stores a
+  micro-batch of windows columnar (int32 event codes + CSR offsets),
+  :func:`~repro.analysis.pmf.pmf_matrix` turns it into a counts matrix with
+  one ``bincount``, and
+  :meth:`~repro.analysis.detector.OnlineAnomalyDetector.process_batch`
+  applies the KL gate and batched LOF with decisions identical to the
+  per-window path (``MonitorConfig(batch_size=...)`` enables it end-to-end).
 * **Experiments** — :mod:`repro.experiments`: the endurance experiment of
   the paper's Section III, parameter sweeps and plain-text reports; the
   benchmarks under ``benchmarks/`` drive these to regenerate the paper's
@@ -57,6 +65,8 @@ from .trace import (
     TraceEvent,
     TraceStream,
     TraceWindow,
+    WindowBatch,
+    batch_windows,
     read_trace,
     write_trace,
 )
@@ -71,6 +81,7 @@ from .analysis import (
     TraceMonitor,
     compute_metrics,
     kl_divergence,
+    pmf_matrix,
     symmetric_kl_divergence,
 )
 from .media import EnduranceRun, EnduranceTrace
@@ -109,10 +120,13 @@ __all__ = [
     "TraceEvent",
     "TraceWindow",
     "TraceStream",
+    "WindowBatch",
+    "batch_windows",
     "read_trace",
     "write_trace",
     # analysis
     "Pmf",
+    "pmf_matrix",
     "kl_divergence",
     "symmetric_kl_divergence",
     "LocalOutlierFactor",

@@ -13,10 +13,12 @@ monitoring loop; :mod:`~repro.analysis.labeling` and
 paper's conclusion.
 """
 
-from .pmf import Pmf, pmf_from_counts, pmf_from_window
+from .pmf import Pmf, merge_counts, pmf_from_counts, pmf_from_window, pmf_matrix
 from .divergence import (
     kl_divergence,
     symmetric_kl_divergence,
+    kl_divergence_matrix,
+    symmetric_kl_divergence_matrix,
     js_divergence,
     total_variation_distance,
 )
@@ -43,8 +45,12 @@ __all__ = [
     "Pmf",
     "pmf_from_counts",
     "pmf_from_window",
+    "pmf_matrix",
+    "merge_counts",
     "kl_divergence",
     "symmetric_kl_divergence",
+    "kl_divergence_matrix",
+    "symmetric_kl_divergence_matrix",
     "js_divergence",
     "total_variation_distance",
     "KnnIndex",

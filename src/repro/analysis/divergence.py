@@ -19,17 +19,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ModelError
-from .pmf import Pmf
+from .pmf import Pmf, _zero_extended
 
 __all__ = [
     "kl_divergence",
     "symmetric_kl_divergence",
+    "kl_divergence_matrix",
+    "symmetric_kl_divergence_matrix",
     "js_divergence",
     "total_variation_distance",
     "hellinger_distance",
 ]
 
 _DEFAULT_SMOOTHING = 1e-9
+
+
+def _smooth_normalise(raw: np.ndarray, smoothing: float) -> np.ndarray:
+    """Additively smooth and normalise a raw non-negative vector."""
+    values = raw + smoothing
+    total = values.sum()
+    if total <= 0:
+        raise ModelError("distribution must have positive mass")
+    return values / total
 
 
 def _raw_vector(value) -> tuple[np.ndarray, bool]:
@@ -65,14 +76,7 @@ def _as_distributions(p, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
         p_raw = np.pad(p_raw, (0, size - len(p_raw)))
         q_raw = np.pad(q_raw, (0, size - len(q_raw)))
 
-    def _normalise(raw: np.ndarray) -> np.ndarray:
-        values = raw + smoothing
-        total = values.sum()
-        if total <= 0:
-            raise ModelError("distribution must have positive mass")
-        return values / total
-
-    return _normalise(p_raw), _normalise(q_raw)
+    return _smooth_normalise(p_raw, smoothing), _smooth_normalise(q_raw, smoothing)
 
 
 def kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
@@ -94,6 +98,76 @@ def symmetric_kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> floa
     symmetrised form so the comparison does not depend on the argument order.
     """
     return 0.5 * (kl_divergence(p, q, smoothing) + kl_divergence(q, p, smoothing))
+
+
+def _symmetric_kl_raw(
+    p_raw: np.ndarray, q_raw: np.ndarray, smoothing: float
+) -> float:
+    """Symmetric KL between two raw count vectors, padded to a common length.
+
+    This is the hot-loop form used by the batched detector: no ``Pmf``
+    wrapping, but the exact op sequence of ``symmetric_kl_divergence`` on two
+    pmfs, so serial and batched runs produce bit-identical divergences.
+    """
+    size = max(len(p_raw), len(q_raw))
+    p_raw = _zero_extended(p_raw, size)
+    q_raw = _zero_extended(q_raw, size)
+    p_vec = _smooth_normalise(p_raw, smoothing)
+    q_vec = _smooth_normalise(q_raw, smoothing)
+    log_p = np.log(p_vec)
+    log_q = np.log(q_vec)
+    kl_pq = float(np.sum(p_vec * (log_p - log_q)))
+    kl_qp = float(np.sum(q_vec * (log_q - log_p)))
+    return 0.5 * (kl_pq + kl_qp)
+
+
+def _rows_and_reference(p_rows, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and smooth-normalise a row matrix and a reference vector."""
+    if smoothing < 0:
+        raise ModelError("smoothing must be >= 0")
+    rows = np.atleast_2d(np.asarray(p_rows, dtype=float))
+    if rows.ndim != 2:
+        raise ModelError(f"p_rows must be two-dimensional, got shape {rows.shape}")
+    if np.any(rows < 0):
+        raise ModelError("distributions must be non-negative")
+    q_raw, _ = _raw_vector(q)
+    size = max(rows.shape[1], len(q_raw))
+    if rows.shape[1] < size:
+        rows = np.pad(rows, ((0, 0), (0, size - rows.shape[1])))
+    if len(q_raw) < size:
+        q_raw = np.pad(q_raw, (0, size - len(q_raw)))
+    values = rows + smoothing
+    totals = values.sum(axis=1)
+    if np.any(totals <= 0):
+        raise ModelError("distribution must have positive mass")
+    return values / totals[:, None], _smooth_normalise(q_raw, smoothing)
+
+
+def kl_divergence_matrix(p_rows, q, smoothing: float = _DEFAULT_SMOOTHING) -> np.ndarray:
+    """Row-wise KL divergence ``D(p_i || q)`` for a matrix of distributions.
+
+    ``p_rows`` is one distribution (raw counts or probabilities) per row;
+    ``q`` is a single reference distribution (or :class:`Pmf`).  Widths are
+    zero-padded to match, mirroring the pmf semantics of registry growth.
+    """
+    p_mat, q_vec = _rows_and_reference(p_rows, q, smoothing)
+    return np.sum(p_mat * (np.log(p_mat) - np.log(q_vec)[None, :]), axis=1)
+
+
+def symmetric_kl_divergence_matrix(
+    p_rows, q, smoothing: float = _DEFAULT_SMOOTHING
+) -> np.ndarray:
+    """Row-wise symmetrised KL divergence against one reference distribution.
+
+    Vectorised form of :func:`symmetric_kl_divergence` used by the batched
+    KL gate: one matrix expression instead of one Python call per window.
+    """
+    p_mat, q_vec = _rows_and_reference(p_rows, q, smoothing)
+    log_p = np.log(p_mat)
+    log_q = np.log(q_vec)
+    forward = np.sum(p_mat * (log_p - log_q[None, :]), axis=1)
+    backward = np.sum(q_vec[None, :] * (log_q[None, :] - log_p), axis=1)
+    return 0.5 * (forward + backward)
 
 
 def js_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:

@@ -65,8 +65,12 @@ class KnnIndex(ABC):
         """
 
     def query_many(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised :meth:`query` over several query points."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        """:meth:`query` over several query points, one row per query.
+
+        The base implementation loops; :class:`BruteForceKnn` overrides it
+        with a fully vectorised blocked distance-matrix computation.
+        """
+        queries = self._check_queries(queries, k)
         distances = []
         indices = []
         for query in queries:
@@ -74,6 +78,17 @@ class KnnIndex(ABC):
             distances.append(d)
             indices.append(i)
         return np.asarray(distances), np.asarray(indices)
+
+    def _check_queries(self, queries: np.ndarray, k: int) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if queries.ndim != 2 or queries.shape[1] != self.dimension:
+            raise ModelError(
+                f"query matrix shape {queries.shape} does not match index "
+                f"dimension {self.dimension}"
+            )
+        if k <= 0:
+            raise ModelError("k must be positive")
+        return queries
 
     def _check_query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, int]:
         point = np.asarray(point, dtype=float).reshape(-1)
@@ -89,6 +104,14 @@ class KnnIndex(ABC):
 class BruteForceKnn(KnnIndex):
     """Exact k-NN by exhaustive vectorised distance computation."""
 
+    #: Cap on the number of floats materialised per distance block, bounding
+    #: query_many's peak memory at ~64 MB regardless of the query count.
+    _BLOCK_ELEMENTS = 8_000_000
+
+    def __init__(self, points: np.ndarray) -> None:
+        super().__init__(points)
+        self._sq_norms: np.ndarray | None = None
+
     def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         point, k = self._check_query(point, k)
         deltas = self.points - point
@@ -99,6 +122,50 @@ class BruteForceKnn(KnnIndex):
             nearest = np.argpartition(distances, k - 1)[:k]
             order = nearest[np.argsort(distances[nearest], kind="stable")]
         return distances[order], order
+
+    def query_many(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised multi-query search over a blocked full distance matrix.
+
+        Each block computes the full query-to-point distance matrix with the
+        cdist-style expansion ``|q - p|^2 = |q|^2 - 2 q.p + |p|^2`` and
+        selects the ``k`` nearest per row with the same argpartition +
+        stable argsort sequence as :meth:`query` — no per-query Python.  The
+        cross term is an einsum rather than a BLAS matmul on purpose: BLAS
+        picks different accumulation orders for different row counts, which
+        would make a point's distances depend on its batch mates; einsum's
+        fixed reduction order keeps every row bit-identical however the
+        queries are batched (the batch/serial equivalence tests rely on it).
+        """
+        queries = self._check_queries(queries, k)
+        n_queries = len(queries)
+        k = min(k, self.n_points)
+        out_distances = np.empty((n_queries, k))
+        out_indices = np.empty((n_queries, k), dtype=int)
+        if self._sq_norms is None:
+            self._sq_norms = np.einsum("ij,ij->i", self.points, self.points)
+        block = max(1, self._BLOCK_ELEMENTS // max(1, self.n_points))
+        for start in range(0, n_queries, block):
+            chunk = queries[start:start + block]
+            query_norms = np.einsum("ij,ij->i", chunk, chunk)
+            squared = (
+                query_norms[:, None]
+                - 2.0 * np.einsum("qd,nd->qn", chunk, self.points)
+                + self._sq_norms[None, :]
+            )
+            # The expansion can go slightly negative through cancellation.
+            distances = np.sqrt(np.maximum(squared, 0.0))
+            if k >= self.n_points:
+                order = np.argsort(distances, axis=1, kind="stable")
+            else:
+                nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+                nearest_distances = np.take_along_axis(distances, nearest, axis=1)
+                suborder = np.argsort(nearest_distances, axis=1, kind="stable")
+                order = np.take_along_axis(nearest, suborder, axis=1)
+            out_distances[start:start + block] = np.take_along_axis(
+                distances, order, axis=1
+            )
+            out_indices[start:start + block] = order
+        return out_distances, out_indices
 
 
 @dataclass

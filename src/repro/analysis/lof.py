@@ -77,23 +77,14 @@ class LocalOutlierFactor:
 
         n = len(points)
         k = self.k_neighbours
-        neighbour_distances = np.empty((n, k))
-        neighbour_indices = np.empty((n, k), dtype=int)
-        for i in range(n):
-            # Ask for k + 1 because the point itself (distance 0) is returned
-            # first when querying with a fitted point.
-            distances, indices = self._index.query(points[i], k + 1)
-            mask = indices != i
-            distances = distances[mask][:k]
-            indices = indices[mask][:k]
-            if len(distances) < k:
-                # Happens only when duplicate points collide with i's own
-                # exclusion; pad with the largest available neighbour.
-                pad = k - len(distances)
-                distances = np.concatenate([distances, np.repeat(distances[-1], pad)])
-                indices = np.concatenate([indices, np.repeat(indices[-1], pad)])
-            neighbour_distances[i] = distances
-            neighbour_indices[i] = indices
+        # Ask for k + 1 because the point itself (distance 0) is usually among
+        # the returned neighbours when querying with a fitted point.  With
+        # duplicated points the tie-broken top k + 1 may *exclude* the point
+        # itself, in which case the first k non-self entries are still exact.
+        all_distances, all_indices = self._index.query_many(points, k + 1)
+        neighbour_distances, neighbour_indices = self._drop_self_neighbours(
+            points, all_distances, all_indices, k
+        )
 
         self._k_distances = neighbour_distances[:, -1].copy()
 
@@ -106,6 +97,46 @@ class LocalOutlierFactor:
         neighbour_lrd = self._lrd[neighbour_indices]
         self._training_scores = neighbour_lrd.mean(axis=1) / np.maximum(self._lrd, _EPSILON)
         return self
+
+    def _drop_self_neighbours(
+        self,
+        points: np.ndarray,
+        distances: np.ndarray,
+        indices: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Remove each training point from its own neighbour list.
+
+        A stable argsort on the "is self" mask pushes the (at most one) self
+        entry to the back of each row while preserving distance order, so the
+        first ``k`` columns are the k true neighbours — whether or not the
+        point itself made the tie-broken top ``k + 1``.  If an index
+        implementation ever returns fewer than ``k + 1`` neighbours (e.g.
+        heavily duplicated points colliding with the self exclusion), the
+        affected rows fall back to re-querying with a progressively larger k
+        instead of crashing on an empty distance row.
+        """
+        n = len(points)
+        if distances.shape[1] <= k:
+            # Defensive fallback for indexes that returned short rows: widen
+            # the query until every row has k non-self neighbours available.
+            assert self._index is not None
+            wider = 2 * k + 2
+            while distances.shape[1] <= k and wider <= 2 * (self._index.n_points + 1):
+                distances, indices = self._index.query_many(points, wider)
+                wider *= 2
+            if distances.shape[1] <= k:
+                raise ModelError(
+                    f"k-NN index returned only {distances.shape[1]} neighbours "
+                    f"per point; need at least {k + 1} to fit LOF"
+                )
+        self_mask = indices == np.arange(n)[:, None]
+        order = np.argsort(self_mask, axis=1, kind="stable")
+        rows = np.arange(n)[:, None]
+        return (
+            distances[rows, order][:, :k],
+            indices[rows, order][:, :k],
+        )
 
     @property
     def is_fitted(self) -> bool:
@@ -134,19 +165,28 @@ class LocalOutlierFactor:
     # ------------------------------------------------------------------ #
     def score(self, point: np.ndarray) -> float:
         """LOF score of a single query point against the reference set."""
-        index = self._require_fitted()
-        assert self._k_distances is not None and self._lrd is not None
         point = np.asarray(point, dtype=float).reshape(-1)
-        distances, indices = index.query(point, self.k_neighbours)
-        reach = np.maximum(self._k_distances[indices], distances)
-        lrd_query = len(indices) / max(float(reach.sum()), _EPSILON)
-        neighbour_lrd = self._lrd[indices]
-        return float(neighbour_lrd.mean() / max(lrd_query, _EPSILON))
+        return float(self.score_many(point[None, :])[0])
 
     def score_many(self, points: np.ndarray) -> np.ndarray:
-        """LOF scores of several query points (one row per point)."""
+        """LOF scores of several query points (one row per point).
+
+        Fully vectorised: one multi-query k-NN search, then the reachability
+        and density formulas as row-wise matrix expressions.  Each row's
+        score is independent of the other rows, so batching never changes a
+        result.
+        """
+        index = self._require_fitted()
+        assert self._k_distances is not None and self._lrd is not None
         points = np.atleast_2d(np.asarray(points, dtype=float))
-        return np.array([self.score(point) for point in points])
+        if len(points) == 0:
+            return np.empty(0)
+        distances, indices = index.query_many(points, self.k_neighbours)
+        reach = np.maximum(self._k_distances[indices], distances)
+        k_effective = indices.shape[1]
+        lrd_query = k_effective / np.maximum(reach.sum(axis=1), _EPSILON)
+        neighbour_lrd = self._lrd[indices]
+        return neighbour_lrd.mean(axis=1) / np.maximum(lrd_query, _EPSILON)
 
     def is_anomalous(self, point: np.ndarray, alpha: float) -> bool:
         """Whether ``point`` exceeds the LOF threshold ``alpha``."""

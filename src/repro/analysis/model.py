@@ -17,10 +17,11 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import ModelError, NotFittedError
+from ..trace.batch import WindowBatch
 from ..trace.event import EventTypeRegistry
 from ..trace.window import TraceWindow
 from .lof import LocalOutlierFactor
-from .pmf import Pmf, pmf_from_window
+from .pmf import Pmf, pmf_matrix
 
 __all__ = ["ReferenceModel"]
 
@@ -59,6 +60,13 @@ class ReferenceModel:
         self._mean_pmf_counts: np.ndarray | None = None
         self._n_windows_seen = 0
         self._n_windows_used = 0
+        # registry id -> (registry ref, registry length, model-position ->
+        # code map).  Keeping the registry reference pins its id() for the
+        # cache key; storing only the newest map per registry (rebuilt when
+        # the registry grows) bounds the cache at one entry per registry.
+        self._projection_cache: dict[
+            int, tuple[EventTypeRegistry, int, np.ndarray]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Learning
@@ -74,27 +82,26 @@ class ReferenceModel:
         simply falls outside the reference support, pushing them away from
         the reference points, which is the desired behaviour.
         """
-        pmfs: list[Pmf] = []
+        usable: list[TraceWindow] = []
         for window in windows:
             self._n_windows_seen += 1
             if len(window) < max(self.min_events_per_window, 1):
                 continue
-            pmfs.append(pmf_from_window(window, registry))
-        if len(pmfs) <= self.k_neighbours:
+            usable.append(window)
+        if len(usable) <= self.k_neighbours:
             raise ModelError(
                 "not enough usable reference windows "
-                f"({len(pmfs)}) for K={self.k_neighbours}; use a longer reference trace"
+                f"({len(usable)}) for K={self.k_neighbours}; use a longer reference trace"
             )
-        self._n_windows_used = len(pmfs)
+        self._n_windows_used = len(usable)
+        # One vectorized pass: columnar batch -> counts matrix -> row-normalised
+        # probability points, instead of one Pmf object per window.
+        batch = WindowBatch.from_windows(usable, registry, keep_windows=False)
         self._type_names = registry.names
-        dimension = len(self._type_names)
-        points = np.zeros((len(pmfs), dimension))
-        counts = np.zeros(dimension)
-        for row, pmf in enumerate(pmfs):
-            vector = pmf.probabilities()
-            points[row, : len(vector)] = vector[:dimension]
-            pmf_counts = pmf.counts
-            counts[: len(pmf_counts)] += pmf_counts[:dimension]
+        counts_matrix = pmf_matrix(batch, registry)
+        totals = counts_matrix.sum(axis=1)
+        points = counts_matrix / totals[:, None]
+        counts = counts_matrix.sum(axis=0) / len(usable)
         if self.deduplicate:
             # Exactly duplicated reference points make the LOF densities
             # degenerate (k-distance collapses to zero and every slightly
@@ -105,7 +112,7 @@ class ReferenceModel:
             if len(unique) > self.k_neighbours:
                 points = unique
         self._points = points
-        self._mean_pmf_counts = counts / len(pmfs)
+        self._mean_pmf_counts = counts
         self._lof = LocalOutlierFactor(
             k_neighbours=self.k_neighbours, index_kind=self.index_kind
         ).fit(points)
@@ -119,7 +126,17 @@ class ReferenceModel:
         k_neighbours: int = 20,
         index_kind: str = "brute",
     ) -> "ReferenceModel":
-        """Build a model directly from pmf vectors (used by the reference DB)."""
+        """Build a model directly from pmf vectors (used by the reference DB).
+
+        .. note::
+           ``points`` are probability vectors, so the stored mean "counts"
+           are really the mean reference *probabilities* (they sum to ~1
+           instead of to a window's event count).  That is fine for every
+           consumer — :meth:`mean_reference_pmf` feeds them into a
+           :class:`~repro.analysis.pmf.Pmf`, which only ever uses the
+           normalised form — but it does mean the seeded past pmf carries a
+           nominal total of ~1 event rather than a realistic window total.
+        """
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[1] != len(type_names):
             raise ModelError(
@@ -186,8 +203,7 @@ class ReferenceModel:
         """
         self._require_fitted()
         assert self._mean_pmf_counts is not None and self._type_names is not None
-        counts = np.zeros(len(registry))
-        for name, value in zip(self._type_names, self._mean_pmf_counts):
+        for name in self._type_names:
             registry.register(name)
         counts = np.zeros(len(registry))
         for name, value in zip(self._type_names, self._mean_pmf_counts):
@@ -197,6 +213,28 @@ class ReferenceModel:
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
+    def _projection_codes(self, registry: EventTypeRegistry) -> np.ndarray:
+        """Registry code of each model type name (-1 when unknown), cached.
+
+        The map only depends on the registry contents, which change solely by
+        appending, so it is cached per (registry, length) and rebuilt when
+        the registry grows.
+        """
+        assert self._type_names is not None
+        cached = self._projection_cache.get(id(registry))
+        if cached is not None and cached[1] == len(registry):
+            return cached[2]
+        codes = np.fromiter(
+            (
+                registry.code(name) if name in registry else -1
+                for name in self._type_names
+            ),
+            dtype=np.int64,
+            count=len(self._type_names),
+        )
+        self._projection_cache[id(registry)] = (registry, len(registry), codes)
+        return codes
+
     def vector_for(self, pmf: Pmf) -> np.ndarray:
         """Project ``pmf`` onto the model's point space.
 
@@ -206,20 +244,39 @@ class ReferenceModel:
         definition suspicious.
         """
         self._require_fitted()
-        assert self._type_names is not None
         probabilities = pmf.probabilities()
+        codes = self._projection_codes(pmf.registry)
+        usable = (codes >= 0) & (codes < len(probabilities))
         vector = np.zeros(self.dimension)
-        for position, name in enumerate(self._type_names):
-            if name in pmf.registry:
-                code = pmf.registry.code(name)
-                if code < len(probabilities):
-                    vector[position] = probabilities[code]
+        vector[usable] = probabilities[codes[usable]]
         return vector
+
+    def vectors_for(
+        self, probability_rows: np.ndarray, registry: EventTypeRegistry
+    ) -> np.ndarray:
+        """Project a matrix of probability rows onto the model's point space.
+
+        Batched :meth:`vector_for`: ``probability_rows`` holds one window's
+        probability vector per row, expressed against ``registry``; the
+        result has one model-space point per row, produced by a single
+        fancy-indexing gather (no per-name dict lookups).
+        """
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(probability_rows, dtype=float))
+        codes = self._projection_codes(registry)
+        usable = (codes >= 0) & (codes < rows.shape[1])
+        vectors = np.zeros((len(rows), self.dimension))
+        vectors[:, usable] = rows[:, codes[usable]]
+        return vectors
 
     def lof_score(self, pmf: Pmf) -> float:
         """LOF score of a window pmf against the reference model."""
         lof = self._require_fitted()
         return lof.score(self.vector_for(pmf))
+
+    def score_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Batched LOF scores of already-projected model-space points."""
+        return self._require_fitted().score_many(vectors)
 
     def is_anomalous(self, pmf: Pmf, alpha: float) -> bool:
         """Whether the window pmf exceeds the LOF threshold ``alpha``."""

@@ -19,6 +19,7 @@ from typing import Iterable
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import ModelError
 from ..logging_util import get_logger
+from ..trace.batch import batch_windows
 from ..trace.codec import encoded_trace_size
 from ..trace.event import EventTypeRegistry, TraceEvent
 from ..trace.stream import TraceStream
@@ -130,16 +131,28 @@ class TraceMonitor:
             output_path=output_path,
             keep_events=keep_events,
         )
+        batch_size = self.monitor_config.batch_size
         decisions: list[WindowDecision] = []
+
+        def record(window: TraceWindow, decision: WindowDecision) -> None:
+            window_bytes = encoded_trace_size(window.events)
+            decision = dataclasses.replace(decision, window_bytes=window_bytes)
+            decisions.append(decision)
+            recorder.observe(
+                window, record=decision.anomalous, window_bytes=window_bytes
+            )
+
         try:
-            for window in windows:
-                decision = detector.process(window)
-                window_bytes = encoded_trace_size(window.events)
-                decision = dataclasses.replace(decision, window_bytes=window_bytes)
-                decisions.append(decision)
-                recorder.observe(
-                    window, record=decision.anomalous, window_bytes=window_bytes
-                )
+            if batch_size > 1:
+                # Vectorized plane: score a columnar micro-batch at a time,
+                # then replay the per-window recording in stream order.
+                for batch in batch_windows(windows, self.registry, batch_size):
+                    batch_decisions = detector.process_batch(batch)
+                    for window, decision in zip(batch.to_windows(), batch_decisions):
+                        record(window, decision)
+            else:
+                for window in windows:
+                    record(window, detector.process(window))
         finally:
             recorder.close()
 

@@ -16,10 +16,24 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..errors import ModelError
+from ..trace.batch import WindowBatch
 from ..trace.event import EventTypeRegistry
 from ..trace.window import TraceWindow
 
-__all__ = ["Pmf", "pmf_from_window", "pmf_from_counts"]
+__all__ = ["Pmf", "pmf_from_window", "pmf_from_counts", "pmf_matrix", "merge_counts"]
+
+
+def _zero_extended(vector: np.ndarray, size: int) -> np.ndarray:
+    """``vector`` zero-padded to ``size`` (returned as-is when already there).
+
+    ``np.pad`` costs microseconds of Python bookkeeping per call, which
+    dominates the detector's per-window merge; this is the cheap equivalent.
+    """
+    if len(vector) == size:
+        return vector
+    out = np.zeros(size)
+    out[: len(vector)] = vector
+    return out
 
 
 class Pmf:
@@ -33,7 +47,7 @@ class Pmf:
         The event-type registry defining the meaning of each component.
     """
 
-    __slots__ = ("registry", "_counts")
+    __slots__ = ("registry", "_counts", "_prob_cache")
 
     def __init__(self, counts: np.ndarray | Iterable[float], registry: EventTypeRegistry) -> None:
         counts = np.asarray(list(counts) if not isinstance(counts, np.ndarray) else counts,
@@ -48,6 +62,7 @@ class Pmf:
             raise ModelError("pmf counts must be non-negative")
         self.registry = registry
         self._counts = counts
+        self._prob_cache: dict[float, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -56,6 +71,20 @@ class Pmf:
     def empty(cls, registry: EventTypeRegistry) -> "Pmf":
         """A pmf with zero counts everywhere."""
         return cls(np.zeros(len(registry)), registry)
+
+    @classmethod
+    def _from_trusted(cls, counts: np.ndarray, registry: EventTypeRegistry) -> "Pmf":
+        """Wrap already-validated counts without re-checking the registry size.
+
+        Used by the batch scoring plane, whose running past pmf can lag the
+        registry (types registered after the last merge), exactly as a pmf
+        constructed before the registry grew would.
+        """
+        pmf = object.__new__(cls)
+        pmf.registry = registry
+        pmf._counts = np.asarray(counts, dtype=float)
+        pmf._prob_cache = {}
+        return pmf
 
     # ------------------------------------------------------------------ #
     # Views
@@ -87,14 +116,24 @@ class Pmf:
         count before normalisation, so the result has full support — which is
         what the Kullback-Leibler divergence needs to stay finite.
         An empty pmf with no smoothing yields the uniform distribution.
+
+        The returned vector is cached (a pmf's counts never change after
+        construction) and marked read-only; copy it before mutating.
         """
         if smoothing < 0:
             raise ModelError("smoothing must be >= 0")
-        values = self._counts + smoothing
-        total = values.sum()
-        if total <= 0:
-            return np.full(self.dimension, 1.0 / self.dimension)
-        return values / total
+        key = float(smoothing)
+        cached = self._prob_cache.get(key)
+        if cached is None:
+            values = self._counts + smoothing
+            total = values.sum()
+            if total <= 0:
+                cached = np.full(self.dimension, 1.0 / self.dimension)
+            else:
+                cached = values / total
+            cached.setflags(write=False)
+            self._prob_cache[key] = cached
+        return cached
 
     def probability(self, etype: str, smoothing: float = 0.0) -> float:
         """Probability of a single event type."""
@@ -131,14 +170,20 @@ class Pmf:
         count.  ``decay = 1`` replaces this pmf entirely; small values make
         the running estimate adapt slowly.
         """
-        mine, theirs, registry = self._aligned_counts(other)
+        registry = self._common_registry(other)
         if not 0.0 < decay <= 1.0:
             raise ModelError("decay must be in (0, 1]")
+        size = max(self.dimension, other.dimension)
         if self.is_empty:
-            return Pmf(theirs.copy(), registry)
+            return Pmf(np.array(_zero_extended(other._counts, size)), registry)
         if other.is_empty:
-            return Pmf(mine.copy(), registry)
-        blended = (1.0 - decay) * (mine / mine.sum()) + decay * (theirs / theirs.sum())
+            return Pmf(np.array(_zero_extended(self._counts, size)), registry)
+        # The cached probabilities equal counts / counts.sum() bit-for-bit, so
+        # reusing them (zero-extended to the common length) avoids
+        # re-normalising the running past pmf on every merge.
+        mine_prob = _zero_extended(self.probabilities(), size)
+        theirs_prob = _zero_extended(other.probabilities(), size)
+        blended = (1.0 - decay) * mine_prob + decay * theirs_prob
         scale = (1.0 - decay) * self.total + decay * other.total
         return Pmf(blended * scale, registry)
 
@@ -147,22 +192,32 @@ class Pmf:
         mine, theirs, registry = self._aligned_counts(other)
         return Pmf(mine + theirs, registry)
 
-    def _aligned_counts(self, other: "Pmf") -> tuple[np.ndarray, np.ndarray, EventTypeRegistry]:
-        """Return both count vectors padded to a common length.
+    def _common_registry(self, other: "Pmf") -> EventTypeRegistry:
+        """Return the (longer) shared registry, rejecting unrelated ones.
 
         Pmfs built on the same (possibly grown) registry may have different
         lengths: the registry only ever appends types, so the shorter vector
-        is zero-padded.  Truly different registries are rejected.
+        can be treated as zero-padded (the missing types simply never
+        occurred).  Truly different registries are rejected.
         """
         longer, shorter = (self.registry, other.registry)
         if len(other.registry) > len(self.registry):
             longer, shorter = other.registry, self.registry
         if longer is not shorter and longer.names[: len(shorter)] != shorter.names:
             raise ModelError("cannot combine pmfs built on different registries")
+        return longer
+
+    def _aligned_counts(self, other: "Pmf") -> tuple[np.ndarray, np.ndarray, EventTypeRegistry]:
+        """Return both count vectors zero-padded to a common length."""
+        registry = self._common_registry(other)
         size = max(self.dimension, other.dimension)
-        mine = np.pad(self._counts, (0, size - self.dimension))
-        theirs = np.pad(other._counts, (0, size - other.dimension))
-        return mine, theirs, longer
+        mine = _zero_extended(self._counts, size)
+        if mine is self._counts:
+            mine = mine.copy()
+        theirs = _zero_extended(other._counts, size)
+        if theirs is other._counts:
+            theirs = theirs.copy()
+        return mine, theirs, registry
 
     # ------------------------------------------------------------------ #
     # Dunder conveniences
@@ -207,6 +262,63 @@ def pmf_from_window(
             )
         counts[registry.code(event.etype)] += 1.0
     return Pmf(counts, registry)
+
+
+def merge_counts(mine: np.ndarray, theirs: np.ndarray, decay: float) -> np.ndarray:
+    """Raw-array mirror of :meth:`Pmf.merge`, bit-for-bit.
+
+    The batch scoring plane keeps the running past pmf as a plain counts
+    array (no registry-size validation per step) and merges with this
+    function; :meth:`Pmf.merge` and ``merge_counts`` must produce identical
+    floats for the serial and batched detectors to make identical decisions,
+    which the equivalence tests assert.
+    """
+    if not 0.0 < decay <= 1.0:
+        raise ModelError("decay must be in (0, 1]")
+    mine = np.asarray(mine, dtype=float)
+    theirs = np.asarray(theirs, dtype=float)
+    size = max(len(mine), len(theirs))
+    mine_total = float(mine.sum())
+    theirs_total = float(theirs.sum())
+    if mine_total <= 0.0:
+        return np.array(_zero_extended(theirs, size))
+    if theirs_total <= 0.0:
+        return np.array(_zero_extended(mine, size))
+    mine_prob = _zero_extended(mine / mine_total, size)
+    theirs_prob = _zero_extended(theirs / theirs_total, size)
+    blended = (1.0 - decay) * mine_prob + decay * theirs_prob
+    scale = (1.0 - decay) * mine_total + decay * theirs_total
+    return blended * scale
+
+
+def pmf_matrix(
+    batch: WindowBatch, registry: EventTypeRegistry, dtype=float
+) -> np.ndarray:
+    """Per-window event-type counts of a batch, as one ``(n, d)`` matrix.
+
+    Row ``i`` equals ``pmf_from_window(batch.window(i), registry).counts``
+    zero-padded to ``d = len(registry)`` — computed with a single
+    ``bincount`` over the columnar codes instead of one Python loop per
+    event.  The batch must have been built against ``registry`` (or one with
+    a superset of its codes); codes outside the registry raise
+    :class:`~repro.errors.ModelError`.
+    """
+    dimension = len(registry)
+    n_windows = len(batch)
+    if batch.dimension > dimension:
+        raise ModelError(
+            f"batch was coded against {batch.dimension} event types but the "
+            f"registry only has {dimension}"
+        )
+    matrix = np.zeros((n_windows, dimension), dtype=dtype)
+    if batch.n_events == 0 or n_windows == 0:
+        return matrix
+    window_ids = np.repeat(np.arange(n_windows, dtype=np.int64), batch.event_counts)
+    flat = window_ids * dimension + batch.codes.astype(np.int64)
+    matrix[:] = np.bincount(flat, minlength=n_windows * dimension).reshape(
+        n_windows, dimension
+    )
+    return matrix
 
 
 def pmf_from_counts(counts: Mapping[str, float], registry: EventTypeRegistry) -> Pmf:

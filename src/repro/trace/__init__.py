@@ -7,6 +7,7 @@ windows of consecutive events, streamed to the online monitor.
 
 from .event import EventType, EventTypeRegistry, TraceEvent, DEFAULT_REGISTRY
 from .window import TraceWindow
+from .batch import WindowBatch, batch_windows
 from .stream import TraceStream, WindowPolicy, windows_by_count, windows_by_duration
 from .codec import BinaryTraceCodec, JsonTraceCodec, encoded_event_size, encoded_trace_size
 from .reader import read_trace, iter_trace_file
@@ -20,6 +21,8 @@ __all__ = [
     "TraceEvent",
     "DEFAULT_REGISTRY",
     "TraceWindow",
+    "WindowBatch",
+    "batch_windows",
     "TraceStream",
     "WindowPolicy",
     "windows_by_count",

@@ -1,0 +1,261 @@
+"""Columnar window batches: the trace side of the vectorized scoring plane.
+
+The per-window objects (:class:`~repro.trace.window.TraceWindow` wrapping
+:class:`~repro.trace.event.TraceEvent` instances) are convenient but slow to
+score one at a time: every window costs a Python loop over its events plus a
+handful of small-object allocations.  :class:`WindowBatch` is the columnar
+alternative — a micro-batch of consecutive windows stored as flat NumPy
+arrays:
+
+* ``codes`` — one ``int32`` event-type code per event, all windows
+  concatenated in stream order;
+* ``offsets`` — CSR-style window boundaries into ``codes``
+  (window ``i`` owns ``codes[offsets[i]:offsets[i + 1]]``);
+* ``indices`` / ``start_us`` / ``end_us`` — per-window metadata arrays;
+* ``dims`` — the registry size observed right after each window's events
+  were registered, so downstream consumers can reproduce the exact
+  sequential registry-growth semantics of the per-window path.
+
+The analysis layer turns a batch into a counts matrix with one ``bincount``
+(:func:`~repro.analysis.pmf.pmf_matrix`) instead of one Python loop per
+window.  A batch built with :meth:`WindowBatch.from_windows` keeps the source
+windows, so it round-trips losslessly back to :class:`TraceWindow` objects
+for the recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TraceFormatError, TraceStreamError
+from .event import EventTypeRegistry
+from .window import TraceWindow
+
+__all__ = ["WindowBatch", "batch_windows"]
+
+
+class WindowBatch:
+    """A micro-batch of consecutive trace windows in columnar form.
+
+    Parameters
+    ----------
+    codes:
+        Concatenated ``int32`` event-type codes, in event order.
+    offsets:
+        Window boundaries into ``codes``; length ``n_windows + 1``, starting
+        at 0, non-decreasing, ending at ``len(codes)``.
+    indices / start_us / end_us:
+        Per-window stream index and time extent.
+    dims:
+        Per-window effective registry size (registry length right after the
+        window's events were registered).  Defaults to ``dimension`` for
+        every window when omitted.
+    dimension:
+        Number of event types the codes were assigned against (the registry
+        size when the batch was built).  Defaults to ``codes.max() + 1``.
+    windows:
+        Optional source :class:`TraceWindow` objects for round-tripping.
+    """
+
+    __slots__ = ("codes", "offsets", "indices", "start_us", "end_us", "dims",
+                 "dimension", "_windows")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        offsets: np.ndarray,
+        indices: np.ndarray,
+        start_us: np.ndarray,
+        end_us: np.ndarray,
+        dims: np.ndarray | None = None,
+        dimension: int | None = None,
+        windows: Sequence[TraceWindow] | None = None,
+    ) -> None:
+        self.codes = np.asarray(codes, dtype=np.int32)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.start_us = np.asarray(start_us, dtype=np.int64)
+        self.end_us = np.asarray(end_us, dtype=np.int64)
+        n = len(self.offsets) - 1
+        if n < 0:
+            raise TraceFormatError("offsets must contain at least one entry")
+        for name, array in (("indices", self.indices),
+                            ("start_us", self.start_us),
+                            ("end_us", self.end_us)):
+            if len(array) != n:
+                raise TraceFormatError(
+                    f"{name} length {len(array)} does not match window count {n}"
+                )
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.codes):
+            raise TraceFormatError("offsets must start at 0 and end at len(codes)")
+        if np.any(np.diff(self.offsets) < 0):
+            raise TraceFormatError("offsets must be non-decreasing")
+        if np.any(self.end_us < self.start_us):
+            raise TraceFormatError("window end before start in batch")
+        if len(self.codes) and self.codes.min() < 0:
+            raise TraceFormatError("event-type codes must be non-negative")
+        if dimension is None:
+            dimension = int(self.codes.max()) + 1 if len(self.codes) else 0
+        self.dimension = int(dimension)
+        if len(self.codes) and int(self.codes.max()) >= self.dimension:
+            raise TraceFormatError(
+                f"event-type code {int(self.codes.max())} out of range for "
+                f"dimension {self.dimension}"
+            )
+        if dims is None:
+            dims = np.full(n, self.dimension, dtype=np.int64)
+        self.dims = np.asarray(dims, dtype=np.int64)
+        if len(self.dims) != n:
+            raise TraceFormatError("dims length does not match window count")
+        if len(self.dims) and (
+            self.dims.min() < 0 or self.dims.max() > self.dimension
+        ):
+            raise TraceFormatError(
+                f"per-window dims must lie in [0, {self.dimension}]"
+            )
+        self._windows = tuple(windows) if windows is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_windows(
+        cls,
+        windows: Iterable[TraceWindow],
+        registry: EventTypeRegistry,
+        register_unknown: bool = True,
+        keep_windows: bool = True,
+    ) -> "WindowBatch":
+        """Build a columnar batch from window objects.
+
+        Windows are converted in order; with ``register_unknown`` (default)
+        new event types grow the registry exactly as the per-window
+        :func:`~repro.analysis.pmf.pmf_from_window` would, and the registry
+        size after each window is recorded in ``dims``.
+        """
+        windows = tuple(windows)
+        offsets = np.empty(len(windows) + 1, dtype=np.int64)
+        offsets[0] = 0
+        for position, window in enumerate(windows):
+            offsets[position + 1] = offsets[position] + len(window)
+        # Fast path: when every event type is already registered the codes
+        # come from one C-level gather straight into the int32 array (no
+        # intermediate Python lists) and the registry cannot grow.
+        known = registry.to_dict()
+        try:
+            codes = np.fromiter(
+                (
+                    known[event.etype]
+                    for window in windows
+                    for event in window.events
+                ),
+                dtype=np.int32,
+                count=int(offsets[-1]),
+            )
+            dims = np.full(len(windows), len(registry), dtype=np.int64)
+        except KeyError:
+            # Unknown types: fall back to per-window registration so ``dims``
+            # records the registry growth in exact sequential order (or so
+            # the registry rejects the type when register_unknown is off).
+            code_parts: list[np.ndarray] = []
+            dims = np.empty(len(windows), dtype=np.int64)
+            for position, window in enumerate(windows):
+                code_parts.append(window.type_codes(registry, register_unknown))
+                dims[position] = len(registry)
+            codes = (
+                np.concatenate(code_parts)
+                if code_parts
+                else np.empty(0, dtype=np.int32)
+            )
+        return cls(
+            codes=codes,
+            offsets=offsets,
+            indices=np.fromiter((w.index for w in windows), dtype=np.int64,
+                                count=len(windows)),
+            start_us=np.fromiter((w.start_us for w in windows), dtype=np.int64,
+                                 count=len(windows)),
+            end_us=np.fromiter((w.end_us for w in windows), dtype=np.int64,
+                               count=len(windows)),
+            dims=dims,
+            dimension=len(registry),
+            windows=windows if keep_windows else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Container behaviour and views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def n_events(self) -> int:
+        """Total number of events across the batch."""
+        return len(self.codes)
+
+    @property
+    def event_counts(self) -> np.ndarray:
+        """Number of events per window (length ``len(self)``)."""
+        return np.diff(self.offsets)
+
+    def window_codes(self, position: int) -> np.ndarray:
+        """Event-type codes of the window at ``position`` (a view)."""
+        return self.codes[self.offsets[position]:self.offsets[position + 1]]
+
+    # ------------------------------------------------------------------ #
+    # Round-trip
+    # ------------------------------------------------------------------ #
+    @property
+    def has_windows(self) -> bool:
+        """Whether the source windows were kept for round-tripping."""
+        return self._windows is not None
+
+    def to_windows(self) -> tuple[TraceWindow, ...]:
+        """Return the source :class:`TraceWindow` objects, in order."""
+        if self._windows is None:
+            raise TraceStreamError(
+                "this WindowBatch was built without its source windows "
+                "(keep_windows=False or raw-array construction)"
+            )
+        return self._windows
+
+    def window(self, position: int) -> TraceWindow:
+        """Return the source window at ``position``."""
+        return self.to_windows()[position]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowBatch(n_windows={len(self)}, n_events={self.n_events}, "
+            f"dimension={self.dimension})"
+        )
+
+
+def batch_windows(
+    windows: Iterable[TraceWindow],
+    registry: EventTypeRegistry,
+    batch_size: int = 64,
+    register_unknown: bool = True,
+    keep_windows: bool = True,
+) -> Iterator[WindowBatch]:
+    """Chunk a window iterable into :class:`WindowBatch` micro-batches.
+
+    The final batch may be shorter.  Windows are consumed lazily, so this
+    composes with the single-pass :class:`~repro.trace.stream.TraceStream`.
+    """
+    if batch_size <= 0:
+        raise TraceStreamError("batch_size must be positive")
+    chunk: list[TraceWindow] = []
+    for window in windows:
+        chunk.append(window)
+        if len(chunk) == batch_size:
+            yield WindowBatch.from_windows(
+                chunk, registry, register_unknown=register_unknown,
+                keep_windows=keep_windows,
+            )
+            chunk = []
+    if chunk:
+        yield WindowBatch.from_windows(
+            chunk, registry, register_unknown=register_unknown,
+            keep_windows=keep_windows,
+        )

@@ -20,7 +20,8 @@ from enum import Enum
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import TraceStreamError
-from .event import TraceEvent
+from .batch import WindowBatch, batch_windows
+from .event import EventTypeRegistry, TraceEvent
 from .window import TraceWindow
 
 __all__ = [
@@ -183,6 +184,31 @@ class TraceStream:
         if policy is WindowPolicy.BY_COUNT:
             return windows_by_count(events, events_per_window, start_us=start_us)
         raise TraceStreamError(f"unknown window policy: {policy!r}")
+
+    def window_batches(
+        self,
+        registry: EventTypeRegistry,
+        batch_size: int = 64,
+        policy: WindowPolicy = WindowPolicy.BY_DURATION,
+        window_duration_us: int = 40_000,
+        events_per_window: int = 256,
+        start_us: int = 0,
+        emit_empty: bool = True,
+    ) -> Iterator[WindowBatch]:
+        """Iterate over columnar window micro-batches (consumes the stream).
+
+        Windows are cut exactly as by :meth:`windows` and grouped into
+        :class:`~repro.trace.batch.WindowBatch` chunks of ``batch_size`` for
+        the vectorized scoring plane; the final batch may be shorter.
+        """
+        windows = self.windows(
+            policy,
+            window_duration_us=window_duration_us,
+            events_per_window=events_per_window,
+            start_us=start_us,
+            emit_empty=emit_empty,
+        )
+        return batch_windows(windows, registry, batch_size=batch_size)
 
     def split_reference(
         self,

@@ -13,6 +13,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from ..errors import TraceFormatError
 from .event import TraceEvent
 
@@ -126,6 +128,22 @@ class TraceWindow:
     def tasks(self) -> frozenset[str]:
         """Set of task names appearing in the window."""
         return frozenset(event.task for event in self.events if event.task)
+
+    def type_codes(self, registry, register_unknown: bool = True):
+        """Integer event-type codes of the events, against ``registry``.
+
+        This is the columnar form of the window consumed by the batch
+        scoring plane (:class:`~repro.trace.batch.WindowBatch`): one ``int32``
+        code per event, in event order.  With ``register_unknown`` (default)
+        unseen types are registered on the fly, mirroring
+        :func:`~repro.analysis.pmf.pmf_from_window`.
+        """
+        lookup = registry.register if register_unknown else registry.code
+        return np.fromiter(
+            (lookup(event.etype) for event in self.events),
+            dtype=np.int32,
+            count=len(self.events),
+        )
 
     def overlaps(self, start_us: float, end_us: float) -> bool:
         """Whether the window's extent intersects ``[start_us, end_us)``."""

@@ -1,0 +1,267 @@
+"""Batch/serial equivalence: the vectorized plane must be a drop-in.
+
+The contract of the batch scoring plane is that it changes *cost*, never
+*results*: ``pmf_matrix`` rows equal per-window pmf counts,
+``query_many``/``score_many`` equal their per-query loops, and
+``OnlineAnomalyDetector.process_batch`` reproduces the per-window ``process``
+loop decision for decision — outcomes, KL divergences, LOF scores, counters
+and the running past pmf — for any batch size, including streams with empty
+windows and event types that appear for the first time mid-batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.detector import OnlineAnomalyDetector
+from repro.analysis.divergence import (
+    kl_divergence,
+    kl_divergence_matrix,
+    symmetric_kl_divergence,
+    symmetric_kl_divergence_matrix,
+)
+from repro.analysis.knn import BruteForceKnn
+from repro.analysis.lof import LocalOutlierFactor
+from repro.analysis.model import ReferenceModel
+from repro.analysis.pmf import Pmf, merge_counts, pmf_from_window, pmf_matrix
+from repro.config import DetectorConfig, MonitorConfig
+from repro.trace.batch import WindowBatch, batch_windows
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+
+NORMAL_MIX = {"steady": 8.0, "tick": 2.0, "flush": 1.0, "poll": 1.0}
+#: The anomaly mix deliberately introduces event types absent from the
+#: reference run, so live monitoring grows the registry mid-stream.
+ANOMALY_MIX = {"steady": 1.0, "tick": 4.0, "burst": 3.0, "stall": 2.0}
+
+
+def reference_setup(seed: int, rate: float = 2_000.0):
+    registry = EventTypeRegistry()
+    generator = SyntheticTraceGenerator(NORMAL_MIX, rate_per_s=rate, seed=seed)
+    reference = list(windows_by_duration(generator.events(4.0), 40_000))
+    model = ReferenceModel(k_neighbours=10).learn(reference, registry)
+    return model, registry
+
+
+def live_windows(seed: int, rate: float = 2_000.0, duration_s: float = 3.0):
+    generator = PeriodicTraceGenerator(
+        NORMAL_MIX,
+        ANOMALY_MIX,
+        anomaly_intervals=[(1.0, 1.6), (2.2, 2.6)],
+        rate_per_s=rate,
+        seed=seed,
+    )
+    return list(windows_by_duration(generator.events(duration_s), 40_000))
+
+
+def decisions_equal(serial, batched) -> bool:
+    if len(serial) != len(batched):
+        return False
+    for a, b in zip(serial, batched):
+        if (
+            a.window_index != b.window_index
+            or a.start_us != b.start_us
+            or a.end_us != b.end_us
+            or a.n_events != b.n_events
+            or a.outcome != b.outcome
+            or a.lof_score != b.lof_score
+        ):
+            return False
+        if not (
+            a.kl_to_past == b.kl_to_past
+            or (math.isnan(a.kl_to_past) and math.isnan(b.kl_to_past))
+        ):
+            return False
+    return True
+
+
+class TestPmfMatrixEquivalence:
+    def test_rows_equal_per_window_pmfs(self):
+        registry = EventTypeRegistry()
+        windows = live_windows(seed=3)
+        batch = WindowBatch.from_windows(windows, registry)
+        matrix = pmf_matrix(batch, registry)
+        for row, window in zip(matrix, windows):
+            serial_registry_view = pmf_from_window(window, registry).counts
+            assert np.array_equal(row[: len(serial_registry_view)], serial_registry_view)
+            assert row[len(serial_registry_view):].sum() == 0.0
+
+    def test_merge_counts_mirrors_pmf_merge(self):
+        rng = np.random.default_rng(11)
+        registry = EventTypeRegistry([f"t{i}" for i in range(6)])
+        for _ in range(50):
+            mine = np.round(rng.uniform(0, 40, size=6), 3)
+            theirs = np.round(rng.uniform(0, 40, size=6), 3)
+            decay = float(rng.uniform(0.05, 1.0))
+            via_pmf = Pmf(mine, registry).merge(Pmf(theirs, registry), decay=decay)
+            via_raw = merge_counts(mine, theirs, decay)
+            assert np.array_equal(via_pmf.counts, via_raw)
+
+
+class TestDivergenceMatrixEquivalence:
+    def test_matrix_rows_equal_scalar_calls(self):
+        rng = np.random.default_rng(4)
+        rows = rng.uniform(0, 30, size=(20, 8))
+        reference = rng.uniform(0, 30, size=8)
+        sym = symmetric_kl_divergence_matrix(rows, reference, smoothing=1e-6)
+        forward = kl_divergence_matrix(rows, reference, smoothing=1e-6)
+        for i in range(len(rows)):
+            assert sym[i] == pytest.approx(
+                symmetric_kl_divergence(rows[i], reference, smoothing=1e-6),
+                rel=1e-12,
+            )
+            assert forward[i] == pytest.approx(
+                kl_divergence(rows[i], reference, smoothing=1e-6), rel=1e-12
+            )
+
+    def test_width_padding_matches_pmf_semantics(self):
+        short = np.array([[3.0, 1.0]])
+        long_ref = np.array([2.0, 1.0, 1.0])
+        registry = EventTypeRegistry(["a", "b", "c"])
+        expected = symmetric_kl_divergence(
+            Pmf(np.array([3.0, 1.0, 0.0]), registry),
+            Pmf(long_ref, registry),
+            smoothing=1e-6,
+        )
+        got = symmetric_kl_divergence_matrix(short, long_ref, smoothing=1e-6)
+        assert got[0] == pytest.approx(expected, rel=1e-12)
+
+
+class TestKnnLofEquivalence:
+    def test_query_many_rows_independent_of_batching(self):
+        rng = np.random.default_rng(7)
+        points = rng.uniform(size=(200, 6))
+        queries = rng.uniform(size=(32, 6))
+        index = BruteForceKnn(points)
+        full_d, full_i = index.query_many(queries, k=9)
+        for start in (0, 5, 31):
+            row_d, row_i = index.query_many(queries[start:start + 1], k=9)
+            assert np.array_equal(full_d[start], row_d[0])
+            assert np.array_equal(full_i[start], row_i[0])
+
+    def test_query_many_matches_query_loop(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(size=(120, 5))
+        queries = rng.uniform(size=(10, 5))
+        index = BruteForceKnn(points)
+        many_d, many_i = index.query_many(queries, k=7)
+        for row, query in enumerate(queries):
+            one_d, one_i = index.query(query, k=7)
+            assert np.allclose(many_d[row], one_d, atol=1e-9)
+            assert np.array_equal(many_i[row], one_i)
+
+    def test_score_many_equals_score_loop_bitwise(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(size=(150, 5))
+        queries = rng.uniform(size=(25, 5))
+        lof = LocalOutlierFactor(k_neighbours=12).fit(points)
+        batch = lof.score_many(queries)
+        singles = np.array([lof.score(q) for q in queries])
+        assert np.array_equal(batch, singles)
+
+    def test_fit_with_more_than_k_identical_points(self):
+        # Regression: heavily duplicated reference points must not crash fit
+        # (the old padding path could index an empty distance row).
+        for index_kind in ("brute", "kdtree"):
+            points = np.vstack([np.ones((25, 3)), np.eye(3)])
+            lof = LocalOutlierFactor(k_neighbours=20, index_kind=index_kind).fit(points)
+            assert np.all(np.isfinite(lof.training_scores))
+            assert np.isfinite(lof.score(np.ones(3)))
+            assert np.isfinite(lof.score(np.array([5.0, 5.0, 5.0])))
+
+
+class TestDetectorBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_process_batch_matches_process(self, seed, batch_size):
+        model, serial_registry = reference_setup(seed)
+        _, batch_registry = reference_setup(seed)
+        windows = live_windows(seed=seed + 100)
+
+        serial = OnlineAnomalyDetector(
+            model, DetectorConfig(k_neighbours=10, lof_threshold=1.3), serial_registry
+        )
+        serial_decisions = [serial.process(w) for w in windows]
+
+        batched = OnlineAnomalyDetector(
+            model, DetectorConfig(k_neighbours=10, lof_threshold=1.3), batch_registry
+        )
+        batched_decisions = []
+        for batch in batch_windows(iter(windows), batch_registry, batch_size):
+            batched_decisions.extend(batched.process_batch(batch))
+
+        assert decisions_equal(serial_decisions, batched_decisions)
+        assert np.array_equal(serial.past_pmf.counts, batched.past_pmf.counts)
+        assert serial.n_processed == batched.n_processed
+        assert serial.n_merged == batched.n_merged
+        assert serial.n_lof_computed == batched.n_lof_computed
+        # at least one window should have introduced a new event type
+        assert len(batch_registry) > model.dimension
+
+    def test_empty_windows_match(self):
+        model, serial_registry = reference_setup(seed=5)
+        _, batch_registry = reference_setup(seed=5)
+        # A very sparse stream: most 40 ms windows are empty.
+        generator = SyntheticTraceGenerator(NORMAL_MIX, rate_per_s=20.0, seed=6)
+        windows = list(windows_by_duration(generator.events(3.0), 40_000))
+        assert any(w.is_empty for w in windows)
+
+        config = DetectorConfig(k_neighbours=10, lof_threshold=1.3)
+        serial = OnlineAnomalyDetector(model, config, serial_registry)
+        serial_decisions = [serial.process(w) for w in windows]
+        batched = OnlineAnomalyDetector(model, config, batch_registry)
+        batched_decisions = []
+        for batch in batch_windows(iter(windows), batch_registry, 16):
+            batched_decisions.extend(batched.process_batch(batch))
+        assert decisions_equal(serial_decisions, batched_decisions)
+
+    def test_kl_gate_disabled_matches(self):
+        model, serial_registry = reference_setup(seed=7)
+        _, batch_registry = reference_setup(seed=7)
+        windows = live_windows(seed=8)
+        config = DetectorConfig(k_neighbours=10, lof_threshold=1.3, use_kl_gate=False)
+        serial = OnlineAnomalyDetector(model, config, serial_registry)
+        serial_decisions = [serial.process(w) for w in windows]
+        batched = OnlineAnomalyDetector(model, config, batch_registry)
+        batched_decisions = []
+        for batch in batch_windows(iter(windows), batch_registry, 32):
+            batched_decisions.extend(batched.process_batch(batch))
+        assert decisions_equal(serial_decisions, batched_decisions)
+        assert batched.n_lof_computed == sum(1 for w in windows if not w.is_empty)
+
+    def test_empty_batch_is_a_noop(self):
+        model, registry = reference_setup(seed=9)
+        detector = OnlineAnomalyDetector(
+            model, DetectorConfig(k_neighbours=10), registry
+        )
+        batch = WindowBatch.from_windows([], registry)
+        assert detector.process_batch(batch) == []
+        assert detector.n_processed == 0
+
+
+class TestMonitorBatchEquivalence:
+    def test_monitor_results_identical_across_batch_sizes(self):
+        from repro.analysis.monitor import TraceMonitor
+
+        windows = live_windows(seed=12, duration_s=2.0)
+        results = []
+        for batch_size in (1, 16):
+            model, registry = reference_setup(seed=12)
+            monitor = TraceMonitor(
+                DetectorConfig(k_neighbours=10, lof_threshold=1.3),
+                MonitorConfig(batch_size=batch_size),
+                registry,
+            )
+            results.append(monitor.monitor_windows(iter(windows), model))
+        serial_result, batched_result = results
+        assert decisions_equal(serial_result.decisions, batched_result.decisions)
+        assert [d.window_bytes for d in serial_result.decisions] == [
+            d.window_bytes for d in batched_result.decisions
+        ]
+        assert serial_result.report == batched_result.report
+        assert serial_result.recorded_indices == batched_result.recorded_indices
+        assert serial_result.detector_stats == batched_result.detector_stats

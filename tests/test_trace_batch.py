@@ -1,0 +1,144 @@
+"""Tests for the columnar WindowBatch and its builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, TraceStreamError
+from repro.trace.batch import WindowBatch, batch_windows
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.stream import TraceStream, windows_by_count, windows_by_duration
+from repro.trace.window import TraceWindow
+
+
+def make_windows(duration_s=1.0, rate=2_000, seed=5):
+    generator = SyntheticTraceGenerator(
+        {"alpha": 3.0, "beta": 1.0, "gamma": 0.5}, rate_per_s=rate, seed=seed
+    )
+    return list(windows_by_duration(generator.events(duration_s), 40_000))
+
+
+class TestWindowBatch:
+    def test_round_trips_windows_and_event_order(self):
+        registry = EventTypeRegistry()
+        events = list(
+            SyntheticTraceGenerator({"a": 1.0, "b": 2.0}, rate_per_s=5_000, seed=1).events(0.5)
+        )
+        windows = list(windows_by_count(iter(events), events_per_window=64))
+        batch = WindowBatch.from_windows(windows, registry)
+        assert batch.to_windows() == tuple(windows)
+        # flattened event order survives the columnar encoding
+        flat = [e for w in batch.to_windows() for e in w.events]
+        assert flat == events
+        expected_codes = [registry.code(e.etype) for e in events]
+        assert batch.codes.tolist() == expected_codes
+
+    def test_counts_match_window_type_counts(self):
+        registry = EventTypeRegistry()
+        windows = make_windows()
+        batch = WindowBatch.from_windows(windows, registry)
+        assert len(batch) == len(windows)
+        assert batch.n_events == sum(len(w) for w in windows)
+        for position, window in enumerate(windows):
+            codes = batch.window_codes(position)
+            for name, count in window.type_counts().items():
+                assert int((codes == registry.code(name)).sum()) == count
+
+    def test_metadata_arrays(self):
+        registry = EventTypeRegistry()
+        windows = make_windows()
+        batch = WindowBatch.from_windows(windows, registry)
+        assert batch.indices.tolist() == [w.index for w in windows]
+        assert batch.start_us.tolist() == [w.start_us for w in windows]
+        assert batch.end_us.tolist() == [w.end_us for w in windows]
+        assert batch.event_counts.tolist() == [len(w) for w in windows]
+
+    def test_dims_record_sequential_registry_growth(self):
+        registry = EventTypeRegistry()
+        windows = [
+            TraceWindow.from_events([TraceEvent(0, "a"), TraceEvent(1, "b")]),
+            TraceWindow.from_events([TraceEvent(10, "a")]),
+            TraceWindow.from_events([TraceEvent(20, "c")]),
+        ]
+        batch = WindowBatch.from_windows(windows, registry)
+        assert batch.dims.tolist() == [2, 2, 3]
+        assert batch.dimension == 3
+
+    def test_without_kept_windows_round_trip_raises(self):
+        registry = EventTypeRegistry()
+        batch = WindowBatch.from_windows(make_windows(), registry, keep_windows=False)
+        assert not batch.has_windows
+        with pytest.raises(TraceStreamError):
+            batch.to_windows()
+
+    def test_register_unknown_disabled_rejects_new_types(self):
+        registry = EventTypeRegistry(["known"])
+        window = TraceWindow.from_events([TraceEvent(0, "unknown")])
+        with pytest.raises(TraceFormatError):
+            WindowBatch.from_windows([window], registry, register_unknown=False)
+
+    def test_empty_windows_and_empty_batch(self):
+        registry = EventTypeRegistry(["x"])
+        empty = TraceWindow(index=0, start_us=0, end_us=40_000)
+        batch = WindowBatch.from_windows([empty], registry)
+        assert len(batch) == 1
+        assert batch.n_events == 0
+        assert batch.event_counts.tolist() == [0]
+        none = WindowBatch.from_windows([], registry)
+        assert len(none) == 0
+
+    def test_raw_array_validation(self):
+        with pytest.raises(TraceFormatError):
+            WindowBatch(
+                codes=np.array([0, 1]),
+                offsets=np.array([0, 1]),  # does not end at len(codes)
+                indices=np.array([0]),
+                start_us=np.array([0]),
+                end_us=np.array([10]),
+            )
+        with pytest.raises(TraceFormatError):
+            WindowBatch(
+                codes=np.array([0, 5]),
+                offsets=np.array([0, 2]),
+                indices=np.array([0]),
+                start_us=np.array([0]),
+                end_us=np.array([10]),
+                dimension=2,  # code 5 out of range
+            )
+        with pytest.raises(TraceFormatError):
+            WindowBatch(
+                codes=np.array([], dtype=np.int32),
+                offsets=np.array([0]),
+                indices=np.array([0]),  # one window claimed, zero offsets
+                start_us=np.array([0]),
+                end_us=np.array([10]),
+            )
+
+
+class TestBatchWindows:
+    def test_chunking_sizes_and_order(self):
+        registry = EventTypeRegistry()
+        windows = make_windows(duration_s=1.0)
+        batches = list(batch_windows(iter(windows), registry, batch_size=7))
+        sizes = [len(b) for b in batches]
+        assert sum(sizes) == len(windows)
+        assert all(size == 7 for size in sizes[:-1])
+        rebuilt = [w for b in batches for w in b.to_windows()]
+        assert rebuilt == windows
+
+    def test_invalid_batch_size(self):
+        registry = EventTypeRegistry()
+        with pytest.raises(TraceStreamError):
+            list(batch_windows(iter([]), registry, batch_size=0))
+
+    def test_stream_window_batches(self):
+        registry = EventTypeRegistry()
+        generator = SyntheticTraceGenerator({"a": 1.0}, rate_per_s=2_000, seed=2)
+        events = list(generator.events(1.0))
+        stream = TraceStream(iter(events))
+        batches = list(stream.window_batches(registry, batch_size=5))
+        windows = [w for b in batches for w in b.to_windows()]
+        expected = list(windows_by_duration(iter(events), 40_000))
+        assert windows == expected
