@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Run the benchmark suite and archive the pytest-benchmark statistics.
 
-The default invocation runs the two throughput benchmarks (per-window and
-batched scoring plane) and writes their pytest-benchmark statistics to
-``BENCH_throughput.json`` at the repository root, so successive PRs leave a
-machine-readable performance trajectory behind::
+The default invocation runs the throughput benchmarks (per-window loop,
+batched scoring plane and the sharded multi-stream fleet) and writes their
+pytest-benchmark statistics to ``BENCH_throughput.json`` at the repository
+root, so successive PRs leave a machine-readable performance trajectory
+behind::
 
     python benchmarks/run_benchmarks.py                 # throughput only
     python benchmarks/run_benchmarks.py --all           # every benchmark
@@ -26,6 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 THROUGHPUT_BENCHMARKS = [
     "benchmarks/test_bench_throughput.py",
     "benchmarks/test_bench_throughput_batched.py",
+    "benchmarks/test_bench_fleet.py",
 ]
 
 
@@ -46,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
     if passthrough and passthrough[0] == "--":
         passthrough = passthrough[1:]
 
-    targets = ["benchmarks"] if args.all else THROUGHPUT_BENCHMARKS
+    targets = ["benchmarks"] if args.all else list(THROUGHPUT_BENCHMARKS)
     command = [
         sys.executable,
         "-m",

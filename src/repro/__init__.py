@@ -71,6 +71,7 @@ from .trace import (
     write_trace,
 )
 from .analysis import (
+    FleetResult,
     LocalOutlierFactor,
     MonitorResult,
     OnlineAnomalyDetector,
@@ -78,6 +79,7 @@ from .analysis import (
     ReferenceDatabase,
     ReferenceModel,
     SelectiveTraceRecorder,
+    ShardedTraceMonitor,
     TraceMonitor,
     compute_metrics,
     kl_divergence,
@@ -87,8 +89,10 @@ from .analysis import (
 from .media import EnduranceRun, EnduranceTrace
 from .experiments import (
     EnduranceExperimentResult,
+    FleetEnduranceResult,
     alpha_sweep,
     run_endurance_experiment,
+    run_fleet_endurance_experiment,
 )
 
 __all__ = [
@@ -135,12 +139,16 @@ __all__ = [
     "OnlineAnomalyDetector",
     "TraceMonitor",
     "MonitorResult",
+    "ShardedTraceMonitor",
+    "FleetResult",
     "SelectiveTraceRecorder",
     "compute_metrics",
     # media / experiments
     "EnduranceRun",
     "EnduranceTrace",
     "EnduranceExperimentResult",
+    "FleetEnduranceResult",
     "run_endurance_experiment",
+    "run_fleet_endurance_experiment",
     "alpha_sweep",
 ]

@@ -29,6 +29,7 @@ from .refdb import ReferenceDatabase
 from .detector import DetectionOutcome, OnlineAnomalyDetector, WindowDecision
 from .recorder import FullTraceRecorder, RecorderReport, SelectiveTraceRecorder
 from .monitor import MonitorResult, TraceMonitor
+from .fleet import FleetResult, ShardedTraceMonitor
 from .labeling import GroundTruth, WindowLabel, estimate_impact_delays, label_windows
 from .metrics import ConfusionCounts, DetectionMetrics, compute_metrics, reduction_factor
 from .baselines import (
@@ -67,6 +68,8 @@ __all__ = [
     "RecorderReport",
     "TraceMonitor",
     "MonitorResult",
+    "FleetResult",
+    "ShardedTraceMonitor",
     "GroundTruth",
     "WindowLabel",
     "estimate_impact_delays",

@@ -1,0 +1,361 @@
+"""Sharded multi-stream monitoring fleet.
+
+A production deployment monitors many concurrent trace streams — one per
+device under endurance test — against one shared reference model.
+:class:`ShardedTraceMonitor` is that fleet: it fans N labelled window streams
+out to per-shard :class:`~repro.analysis.detector.OnlineAnomalyDetector` and
+:class:`~repro.analysis.recorder.SelectiveTraceRecorder` instances over a
+single fitted :class:`~repro.analysis.model.ReferenceModel`, drives every
+shard through the vectorized batch scoring plane
+(:class:`~repro.trace.batch.WindowBatch` micro-batches of
+``MonitorConfig.batch_size`` windows), and merges the per-shard
+:class:`~repro.analysis.monitor.MonitorResult` objects into one aggregated
+:class:`FleetResult`.
+
+Isolation guarantees (what the equivalence suite locks down):
+
+* every shard clones the fleet's base event-type registry, so unseen event
+  types appearing on one stream never change another shard's pmf
+  dimensionality;
+* detector state (running past pmf, counters) and recorder state (context
+  buffer, byte accounting, output file) are strictly per shard;
+* the shared reference model is frozen after fitting and only read.
+
+A sharded run is therefore decision- and byte-identical to N independent
+:meth:`~repro.analysis.monitor.TraceMonitor.monitor_windows` runs over the
+same model, while sharing the model memory and interleaving shards
+batch-by-batch (the :class:`WindowBatch` is the unit of work distribution).
+``MonitorConfig.max_active_shards`` bounds how many shards are open at once
+for very wide fleets; scheduling order never changes the results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..config import DetectorConfig, MonitorConfig
+from ..errors import FleetError, ModelError
+from ..logging_util import get_logger
+from ..trace.batch import WindowBatch, batch_windows
+from ..trace.event import EventTypeRegistry
+from ..trace.stream import TraceStream
+from ..trace.window import TraceWindow
+from .detector import OnlineAnomalyDetector, WindowDecision
+from .model import ReferenceModel
+from .monitor import MonitorResult, score_and_record_batch
+from .recorder import RecorderReport, SelectiveTraceRecorder
+
+__all__ = ["FleetResult", "ShardedTraceMonitor"]
+
+_LOGGER = get_logger("analysis.fleet")
+
+
+@dataclass
+class FleetResult:
+    """Aggregated outcome of one sharded monitoring run.
+
+    Attributes
+    ----------
+    shard_results:
+        Per-shard :class:`MonitorResult`, keyed by shard label in submission
+        order.
+    model:
+        The shared reference model every shard was scored against.
+    """
+
+    shard_results: dict[str, MonitorResult]
+    model: ReferenceModel
+
+    # ------------------------------------------------------------------ #
+    # Shard access
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_labels(self) -> tuple[str, ...]:
+        """Shard labels in submission order."""
+        return tuple(self.shard_results)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return len(self.shard_results)
+
+    def shard(self, label: str) -> MonitorResult:
+        """Return the result of the shard named ``label``."""
+        try:
+            return self.shard_results[label]
+        except KeyError:
+            raise FleetError(f"unknown shard label: {label!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Fleet-wide reductions
+    # ------------------------------------------------------------------ #
+    @property
+    def n_windows(self) -> int:
+        """Total number of monitored windows across the fleet."""
+        return sum(result.n_windows for result in self.shard_results.values())
+
+    @property
+    def n_anomalous(self) -> int:
+        """Total number of anomalous windows across the fleet."""
+        return sum(result.n_anomalous for result in self.shard_results.values())
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of fleet windows declared anomalous."""
+        n_windows = self.n_windows
+        if n_windows == 0:
+            return 0.0
+        return self.n_anomalous / n_windows
+
+    @property
+    def report(self) -> RecorderReport:
+        """Field-wise sum of every shard's recording report."""
+        merged = RecorderReport(0, 0, 0, 0, 0, 0)
+        for result in self.shard_results.values():
+            merged = merged.merged_with(result.report)
+        return merged
+
+    @property
+    def reduction_factor(self) -> float:
+        """Fleet-wide trace-size reduction factor."""
+        return self.report.reduction_factor
+
+    @property
+    def recorded_indices(self) -> dict[str, list[int]]:
+        """Recorded window indices per shard."""
+        return {
+            label: list(result.recorded_indices)
+            for label, result in self.shard_results.items()
+        }
+
+    @property
+    def detector_stats(self) -> dict[str, float]:
+        """Summed detector counters with the fleet-wide LOF computation rate."""
+        totals = {
+            "windows_processed": 0.0,
+            "windows_merged": 0.0,
+            "lof_computations": 0.0,
+        }
+        for result in self.shard_results.values():
+            for key in totals:
+                totals[key] += result.detector_stats.get(key, 0.0)
+        processed = totals["windows_processed"]
+        totals["lof_computation_rate"] = (
+            totals["lof_computations"] / processed if processed else 0.0
+        )
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (fleet aggregates plus per-shard rows)."""
+        return {
+            "fleet": {
+                "n_shards": self.n_shards,
+                "n_windows": self.n_windows,
+                "n_anomalous": self.n_anomalous,
+                "anomaly_rate": self.anomaly_rate,
+                "detector_stats": self.detector_stats,
+                **self.report.to_dict(),
+            },
+            "shards": {
+                label: {
+                    "n_windows": result.n_windows,
+                    "n_anomalous": result.n_anomalous,
+                    "anomaly_rate": result.anomaly_rate,
+                    "recorded_indices": list(result.recorded_indices),
+                    "detector_stats": dict(result.detector_stats),
+                    **result.report.to_dict(),
+                }
+                for label, result in self.shard_results.items()
+            },
+        }
+
+
+class _Shard:
+    """Mutable per-stream state while the fleet is running."""
+
+    __slots__ = ("label", "registry", "detector", "recorder", "batches", "decisions")
+
+    def __init__(
+        self,
+        label: str,
+        registry: EventTypeRegistry,
+        detector: OnlineAnomalyDetector,
+        recorder: SelectiveTraceRecorder,
+        batches: Iterator[WindowBatch],
+    ) -> None:
+        self.label = label
+        self.registry = registry
+        self.detector = detector
+        self.recorder = recorder
+        self.batches = batches
+        self.decisions: list[WindowDecision] = []
+
+
+class ShardedTraceMonitor:
+    """Monitors many labelled window streams over one shared reference model.
+
+    Construction mirrors :class:`~repro.analysis.monitor.TraceMonitor`; the
+    ``registry`` argument is the *base* registry every shard clones at
+    activation, so shards observe registry growth exactly as an independent
+    single-stream run seeded with the same registry would.
+    """
+
+    def __init__(
+        self,
+        detector_config: DetectorConfig | None = None,
+        monitor_config: MonitorConfig | None = None,
+        registry: EventTypeRegistry | None = None,
+    ) -> None:
+        self.detector_config = detector_config or DetectorConfig()
+        self.monitor_config = monitor_config or MonitorConfig()
+        self.registry = registry if registry is not None else EventTypeRegistry()
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def run_on_streams(
+        self,
+        streams: Mapping[str, TraceStream] | Sequence[TraceStream],
+        model: ReferenceModel,
+        output_dir: str | Path | None = None,
+        keep_events: bool = False,
+    ) -> FleetResult:
+        """Monitor several trace streams as one fleet.
+
+        ``streams`` is either a mapping from shard label to
+        :class:`TraceStream` or a plain sequence (labelled ``stream-00``,
+        ``stream-01``, ...).  Every stream is cut into windows with the
+        configured ``window_duration_us``.
+        """
+        labelled = self._label_streams(streams)
+        duration = self.monitor_config.window_duration_us
+        shards = {
+            label: stream.windows(window_duration_us=duration)
+            for label, stream in labelled.items()
+        }
+        return self.monitor_shards(
+            shards, model, output_dir=output_dir, keep_events=keep_events
+        )
+
+    def monitor_shards(
+        self,
+        shards: Mapping[str, Iterable[TraceWindow]],
+        model: ReferenceModel,
+        output_dir: str | Path | None = None,
+        keep_events: bool = False,
+    ) -> FleetResult:
+        """Monitor already-windowed shard streams against a fitted model.
+
+        When ``output_dir`` is given each shard records its anomalous
+        windows to ``<output_dir>/<label>.jsonl``.
+        """
+        if not model.is_fitted:
+            raise ModelError("the shared reference model must be fitted")
+        labels = list(shards)
+        if len(set(labels)) != len(labels):
+            raise FleetError("shard labels must be unique")
+        cap = self.monitor_config.max_active_shards
+        if cap is None:
+            cap = max(len(labels), 1)
+
+        pending = deque(shards.items())
+        active: deque[_Shard] = deque()
+        opened: list[_Shard] = []
+        results: dict[str, MonitorResult] = {}
+        try:
+            while pending or active:
+                while pending and len(active) < cap:
+                    label, windows = pending.popleft()
+                    shard = self._activate(
+                        label, windows, model, output_dir, keep_events
+                    )
+                    opened.append(shard)
+                    active.append(shard)
+                shard = active.popleft()
+                batch = next(shard.batches, None)
+                if batch is None:
+                    results[shard.label] = self._finalize(shard, model)
+                    continue
+                self._process_batch(shard, batch)
+                active.append(shard)
+        finally:
+            for shard in opened:
+                shard.recorder.close()
+
+        ordered = {label: results[label] for label in labels}
+        result = FleetResult(shard_results=ordered, model=model)
+        _LOGGER.info(
+            "fleet done: %d shards, %d windows, %d anomalous, "
+            "reduction factor %.1f",
+            result.n_shards,
+            result.n_windows,
+            result.n_anomalous,
+            result.report.reduction_factor,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _label_streams(
+        streams: Mapping[str, TraceStream] | Sequence[TraceStream],
+    ) -> dict[str, TraceStream]:
+        if isinstance(streams, Mapping):
+            return dict(streams)
+        return {
+            f"stream-{position:02d}": stream
+            for position, stream in enumerate(streams)
+        }
+
+    def _activate(
+        self,
+        label: str,
+        windows: Iterable[TraceWindow],
+        model: ReferenceModel,
+        output_dir: str | Path | None,
+        keep_events: bool,
+    ) -> _Shard:
+        config = self.monitor_config
+        shard_registry = EventTypeRegistry(self.registry.names)
+        detector = OnlineAnomalyDetector(model, self.detector_config, shard_registry)
+        output_path = (
+            Path(output_dir) / f"{label}.jsonl" if output_dir is not None else None
+        )
+        recorder = SelectiveTraceRecorder(
+            context_windows=config.record_context_windows,
+            output_path=output_path,
+            keep_events=keep_events,
+            io_buffer_bytes=config.io_buffer_bytes,
+        )
+        batches = batch_windows(
+            iter(windows), shard_registry, max(config.batch_size, 1)
+        )
+        return _Shard(label, shard_registry, detector, recorder, batches)
+
+    @staticmethod
+    def _process_batch(shard: _Shard, batch: WindowBatch) -> None:
+        shard.decisions.extend(
+            score_and_record_batch(shard.detector, shard.recorder, batch)
+        )
+
+    @staticmethod
+    def _finalize(shard: _Shard, model: ReferenceModel) -> MonitorResult:
+        shard.recorder.close()
+        detector = shard.detector
+        return MonitorResult(
+            decisions=shard.decisions,
+            report=shard.recorder.report(),
+            model=model,
+            recorded_indices=shard.recorder.recorded_indices,
+            reference_window_count=0,
+            detector_stats={
+                "windows_processed": detector.n_processed,
+                "windows_merged": detector.n_merged,
+                "lof_computations": detector.n_lof_computed,
+                "lof_computation_rate": detector.lof_computation_rate,
+            },
+        )

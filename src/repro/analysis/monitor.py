@@ -20,7 +20,7 @@ from ..config import DetectorConfig, MonitorConfig
 from ..errors import ModelError
 from ..logging_util import get_logger
 from ..trace.batch import batch_windows
-from ..trace.codec import encoded_trace_size
+from ..trace.codec import encoded_trace_size, encoded_window_sizes
 from ..trace.event import EventTypeRegistry, TraceEvent
 from ..trace.stream import TraceStream
 from ..trace.window import TraceWindow
@@ -31,6 +31,33 @@ from .recorder import RecorderReport, SelectiveTraceRecorder
 __all__ = ["MonitorResult", "TraceMonitor"]
 
 _LOGGER = get_logger("analysis.monitor")
+
+
+def score_and_record_batch(
+    detector: OnlineAnomalyDetector,
+    recorder: SelectiveTraceRecorder,
+    batch,
+) -> list[WindowDecision]:
+    """Score one columnar batch, record it, return the stamped decisions.
+
+    This is the single definition of the batched score -> size -> record
+    step: both :meth:`TraceMonitor.monitor_windows` and the sharded fleet
+    (:mod:`repro.analysis.fleet`) call it, so their per-window decisions and
+    byte accounting cannot drift apart.
+    """
+    batch_decisions = detector.process_batch(batch)
+    source_windows = batch.to_windows()
+    sizes = encoded_window_sizes(source_windows)
+    stamped = [
+        dataclasses.replace(decision, window_bytes=size)
+        for decision, size in zip(batch_decisions, sizes)
+    ]
+    recorder.observe_batch(
+        source_windows,
+        [decision.anomalous for decision in stamped],
+        window_bytes=sizes,
+    )
+    return stamped
 
 
 @dataclass
@@ -130,6 +157,7 @@ class TraceMonitor:
             context_windows=self.monitor_config.record_context_windows,
             output_path=output_path,
             keep_events=keep_events,
+            io_buffer_bytes=self.monitor_config.io_buffer_bytes,
         )
         batch_size = self.monitor_config.batch_size
         decisions: list[WindowDecision] = []
@@ -145,11 +173,12 @@ class TraceMonitor:
         try:
             if batch_size > 1:
                 # Vectorized plane: score a columnar micro-batch at a time,
-                # then replay the per-window recording in stream order.
+                # then hand the whole batch to the recorder so the codec and
+                # file writes are amortised across windows.
                 for batch in batch_windows(windows, self.registry, batch_size):
-                    batch_decisions = detector.process_batch(batch)
-                    for window, decision in zip(batch.to_windows(), batch_decisions):
-                        record(window, decision)
+                    decisions.extend(
+                        score_and_record_batch(detector, recorder, batch)
+                    )
             else:
                 for window in windows:
                     record(window, detector.process(window))

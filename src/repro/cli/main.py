@@ -6,6 +6,7 @@ Subcommands::
     repro-trace stats      trace.jsonl
     repro-trace learn      trace.jsonl --reference-s 300 --model model.npz
     repro-trace monitor    trace.jsonl --model model.npz --output recorded.jsonl
+    repro-trace fleet      a.jsonl b.jsonl --model model.npz --output-dir recorded/
     repro-trace experiment --duration 900 [--alpha 1.2] [--report report.txt]
     repro-trace sweep      --duration 900 --alphas 1.0,1.2,1.5,2.0,3.0
 
@@ -21,6 +22,7 @@ import json
 import sys
 from pathlib import Path
 
+from ..analysis.fleet import ShardedTraceMonitor
 from ..analysis.labeling import GroundTruth
 from ..analysis.model import ReferenceModel
 from ..analysis.monitor import TraceMonitor
@@ -75,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--alpha", type=float, default=1.2)
     monitor.add_argument("--k", type=int, default=20)
     monitor.add_argument("--output", type=Path, default=None, help="recorded trace output")
+
+    fleet = subparsers.add_parser(
+        "fleet", help="monitor several traces as one sharded fleet"
+    )
+    fleet.add_argument("traces", type=Path, nargs="+", help="one trace file per stream")
+    fleet.add_argument("--model", type=Path, default=None, help="shared model (.npz)")
+    fleet.add_argument(
+        "--reference-s",
+        type=float,
+        default=300.0,
+        help="reference prefix of the first trace used for learning "
+        "when no --model is given",
+    )
+    fleet.add_argument("--window-ms", type=float, default=40.0)
+    fleet.add_argument("--alpha", type=float, default=1.2)
+    fleet.add_argument("--k", type=int, default=20)
+    fleet.add_argument("--batch-size", type=int, default=64)
+    fleet.add_argument(
+        "--output-dir", type=Path, default=None, help="record each shard here"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run the paper's endurance experiment end to end"
@@ -224,6 +246,67 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_labels(paths: list[Path]) -> list[str]:
+    """Unique shard labels derived from the trace file names."""
+    labels: list[str] = []
+    used: set[str] = set()
+    for path in paths:
+        base = path.stem or "stream"
+        label = base
+        suffix = 1
+        while label in used:
+            label = f"{base}-{suffix}"
+            suffix += 1
+        used.add(label)
+        labels.append(label)
+    return labels
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    detector_config = DetectorConfig(k_neighbours=args.k, lof_threshold=args.alpha)
+    monitor_config = MonitorConfig(
+        window_duration_us=int(args.window_ms * 1000),
+        reference_duration_us=int(args.reference_s * 1e6),
+        batch_size=args.batch_size,
+    )
+    registry = EventTypeRegistry.with_default_types()
+    labels = _shard_labels(args.traces)
+    events_by_label = {
+        label: read_trace(path) for label, path in zip(labels, args.traces)
+    }
+    if args.model is not None:
+        model = ReferenceModel.load(args.model)
+    else:
+        # Learn the shared model on the reference prefix of the first trace
+        # ("golden device"); every trace is then monitored in full.
+        reference, _ = TraceStream(iter(events_by_label[labels[0]])).split_reference(
+            monitor_config.reference_duration_us, monitor_config.window_duration_us
+        )
+        model = TraceMonitor(
+            detector_config, monitor_config, registry
+        ).learn_reference(reference)
+
+    streams = {
+        label: TraceStream(iter(events)) for label, events in events_by_label.items()
+    }
+    fleet = ShardedTraceMonitor(detector_config, monitor_config, registry)
+    result = fleet.run_on_streams(streams, model, output_dir=args.output_dir)
+    report = result.report
+    lines = [
+        f"{label}: {shard.n_windows} windows, {shard.n_anomalous} anomalous, "
+        f"{shard.report.recorded_bytes}/{shard.report.total_bytes} bytes recorded"
+        for label, shard in result.shard_results.items()
+    ]
+    lines.append(
+        f"fleet: {result.n_shards} shards, {result.n_windows} windows, "
+        f"{result.n_anomalous} anomalous, "
+        f"{report.recorded_bytes}/{report.total_bytes} bytes recorded "
+        f"({report.reduction_factor:.1f}x reduction)"
+    )
+    _emit(args, "\n".join(lines), result.to_dict())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = EnduranceConfig.scaled_paper_setup(
         duration_s=args.duration, reference_s=args.reference_s, seed=args.seed
@@ -260,6 +343,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "learn": _cmd_learn,
     "monitor": _cmd_monitor,
+    "fleet": _cmd_fleet,
     "experiment": _cmd_experiment,
     "sweep": _cmd_sweep,
 }

@@ -109,6 +109,17 @@ class MonitorConfig:
         values route the stream through the vectorized batch scoring plane
         (:meth:`~repro.analysis.detector.OnlineAnomalyDetector.process_batch`),
         which produces identical decisions at a fraction of the cost.
+    io_buffer_bytes:
+        Size of the selective recorder's write buffer: recorded windows are
+        encoded into memory and flushed to the output file in chunks of at
+        least this many bytes.  ``0`` disables buffering (one write per
+        recorded window, the historical behaviour).
+    max_active_shards:
+        Upper bound on the number of stream shards a
+        :class:`~repro.analysis.fleet.ShardedTraceMonitor` keeps open
+        concurrently (detector state, recorder, output file).  ``None``
+        (default) opens every shard at once; a finite bound caps memory and
+        file handles on very wide fleets — results are identical either way.
     """
 
     window_duration_us: int = 40_000
@@ -116,6 +127,8 @@ class MonitorConfig:
     reference_duration_us: int = 300_000_000
     record_context_windows: int = 0
     batch_size: int = 1
+    io_buffer_bytes: int = 65_536
+    max_active_shards: int | None = None
 
     def __post_init__(self) -> None:
         _require(self.window_duration_us > 0, "window_duration_us must be > 0")
@@ -126,6 +139,11 @@ class MonitorConfig:
         _require(self.reference_duration_us > 0, "reference_duration_us must be > 0")
         _require(self.record_context_windows >= 0, "record_context_windows must be >= 0")
         _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.io_buffer_bytes >= 0, "io_buffer_bytes must be >= 0")
+        _require(
+            self.max_active_shards is None or self.max_active_shards >= 1,
+            "max_active_shards must be None or >= 1",
+        )
 
 
 @dataclass(frozen=True)

@@ -48,5 +48,9 @@ class RecorderError(ReproError):
     """The selective trace recorder was driven incorrectly."""
 
 
+class FleetError(ReproError):
+    """The sharded monitoring fleet was configured or driven incorrectly."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""

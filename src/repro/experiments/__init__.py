@@ -2,8 +2,10 @@
 
 from .endurance import (
     EnduranceExperimentResult,
+    FleetEnduranceResult,
     run_endurance_experiment,
     run_experiment_on_trace,
+    run_fleet_endurance_experiment,
 )
 from .sweep import (
     AlphaSweepPoint,
@@ -24,8 +26,10 @@ from .report import (
 
 __all__ = [
     "EnduranceExperimentResult",
+    "FleetEnduranceResult",
     "run_endurance_experiment",
     "run_experiment_on_trace",
+    "run_fleet_endurance_experiment",
     "AlphaSweepPoint",
     "SweepPoint",
     "alpha_sweep",

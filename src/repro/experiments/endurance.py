@@ -19,10 +19,12 @@ every parameter value.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..analysis.detector import WindowDecision
+from ..analysis.fleet import FleetResult, ShardedTraceMonitor
 from ..analysis.labeling import GroundTruth, label_windows
 from ..analysis.metrics import ConfusionCounts, DetectionMetrics, compute_metrics
 from ..analysis.monitor import MonitorResult, TraceMonitor
@@ -34,8 +36,10 @@ from ..trace.event import EventTypeRegistry
 
 __all__ = [
     "EnduranceExperimentResult",
+    "FleetEnduranceResult",
     "run_endurance_experiment",
     "run_experiment_on_trace",
+    "run_fleet_endurance_experiment",
 ]
 
 _LOGGER = get_logger("experiments.endurance")
@@ -152,6 +156,91 @@ def run_experiment_on_trace(
         monitor_result=monitor_result,
         ground_truth=ground_truth,
         metrics=metrics,
+    )
+
+
+@dataclass
+class FleetEnduranceResult:
+    """Outcome of a multi-stream (fleet) endurance experiment.
+
+    ``n_streams`` simulated endurance runs — same configuration, different
+    media seeds — are monitored as one sharded fleet over a reference model
+    learned on the first stream's reference prefix (the "golden device"
+    deployment model: one curated model shared by every unit under test).
+    """
+
+    config: EnduranceConfig
+    traces: list[EnduranceTrace]
+    fleet_result: FleetResult
+    reference_window_count: int
+
+    @property
+    def n_streams(self) -> int:
+        """Number of monitored streams in the fleet."""
+        return len(self.traces)
+
+    def summary(self) -> dict:
+        """Compact JSON-serialisable summary (fleet aggregates + per shard)."""
+        payload = self.fleet_result.to_dict()
+        payload["fleet"]["n_streams"] = self.n_streams
+        payload["fleet"]["reference_window_count"] = self.reference_window_count
+        payload["fleet"]["duration_s"] = self.config.media.duration_s
+        return payload
+
+
+def run_fleet_endurance_experiment(
+    config: EnduranceConfig | None = None,
+    n_streams: int = 4,
+    seed_stride: int = 101,
+    keep_events: bool = False,
+) -> FleetEnduranceResult:
+    """Simulate ``n_streams`` endurance runs and monitor them as one fleet.
+
+    Stream ``i`` uses media seed ``config.media.seed + i * seed_stride``.
+    The reference model is learned once, on the reference prefix of stream
+    0; every stream's live remainder (after its own reference prefix, which
+    models the shared warm-up period) is then monitored by a per-stream
+    shard over that shared model.
+    """
+    if n_streams < 1:
+        raise ExperimentError("n_streams must be >= 1")
+    config = config or EnduranceConfig.scaled_paper_setup()
+    _LOGGER.info(
+        "running fleet endurance experiment: %d streams x %.0f s media",
+        n_streams,
+        config.media.duration_s,
+    )
+    traces = []
+    for position in range(n_streams):
+        stream_config = dataclasses.replace(
+            config,
+            media=dataclasses.replace(
+                config.media, seed=config.media.seed + position * seed_stride
+            ),
+        )
+        traces.append(EnduranceRun(stream_config).run())
+
+    registry = EventTypeRegistry.with_default_types()
+    monitor = TraceMonitor(config.detector, config.monitor, registry)
+    shards = {}
+    reference_windows = None
+    for position, trace in enumerate(traces):
+        reference, live = trace.stream().split_reference(
+            config.monitor.reference_duration_us,
+            window_duration_us=config.monitor.window_duration_us,
+        )
+        if position == 0:
+            reference_windows = reference
+        shards[f"stream-{position:02d}"] = live
+    model = monitor.learn_reference(reference_windows)
+
+    fleet = ShardedTraceMonitor(config.detector, config.monitor, registry)
+    fleet_result = fleet.monitor_shards(shards, model, keep_events=keep_events)
+    return FleetEnduranceResult(
+        config=config,
+        traces=traces,
+        fleet_result=fleet_result,
+        reference_window_count=len(reference_windows),
     )
 
 

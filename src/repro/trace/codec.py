@@ -23,12 +23,14 @@ from typing import Iterable, Iterator
 
 from ..errors import TraceFormatError
 from .event import EventTypeRegistry, TraceEvent
+from .window import TraceWindow
 
 __all__ = [
     "BinaryTraceCodec",
     "JsonTraceCodec",
     "encoded_event_size",
     "encoded_trace_size",
+    "encoded_window_sizes",
 ]
 
 _MAGIC = b"RTRC"
@@ -206,6 +208,22 @@ class JsonTraceCodec:
             raise TraceFormatError(f"malformed JSON event line: {line!r}") from exc
         return TraceEvent.from_dict(data)
 
+    def encode_events(self, events: Iterable[TraceEvent]) -> str:
+        """Encode a batch of events as one newline-terminated JSON-lines block.
+
+        Every line ends with ``"\\n"`` (unlike :meth:`encode`, which joins
+        without a trailing newline), so the result of consecutive calls can
+        be concatenated and written to a JSON-lines file in a single write.
+        An empty event sequence yields the empty string.
+        """
+        encode_event = self.encode_event
+        return "".join([encode_event(event) + "\n" for event in events])
+
+    def encoded_sizes(self, events: Iterable[TraceEvent]) -> list[int]:
+        """UTF-8 byte size of each event's JSON line (newline excluded)."""
+        encode_event = self.encode_event
+        return [len(encode_event(event).encode("utf-8")) for event in events]
+
     def encode(self, events: Iterable[TraceEvent]) -> str:
         """Encode an event sequence as newline-separated JSON objects."""
         return "\n".join(self.encode_event(event) for event in events)
@@ -223,17 +241,67 @@ def encoded_event_size(event: TraceEvent, previous_timestamp_us: int = 0) -> int
     return BinaryTraceCodec().event_size(event, previous_timestamp_us)
 
 
+def _varint_size(value: int) -> int:
+    """Length in bytes of ``_encode_varint(value)``, computed arithmetically."""
+    if value < 0x80:
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
 def encoded_trace_size(events: Iterable[TraceEvent]) -> int:
     """Total binary-encoded size of an event sequence (excluding file header).
 
     Sizes are computed with delta timestamps exactly as the recorder does, so
     the full-trace size and the sum of recorded-window sizes are directly
     comparable.
+
+    The size is computed arithmetically — varint lengths, cached task-name
+    lengths, payload JSON lengths — without materialising any encoded bytes;
+    the result is bit-identical to summing
+    :meth:`BinaryTraceCodec.event_size` over the events with one shared
+    codec (the property suite asserts this).  Byte accounting is on the
+    monitoring hot path (every window is sized, recorded or not), so the
+    dominant cost must be a few integer operations per event, not an
+    encode-and-discard pass.
     """
-    codec = BinaryTraceCodec()
     total = 0
     previous = 0
+    codes: dict[str, int] = {}
+    task_sizes: dict[str, int] = {}
     for event in events:
-        total += codec.event_size(event, previous)
+        delta = event.timestamp_us - previous
+        if delta < 0:
+            raise TraceFormatError(
+                "events must be encoded in timestamp order "
+                f"({event.timestamp_us} after {previous})"
+            )
         previous = event.timestamp_us
+        code = codes.setdefault(event.etype, len(codes))
+        task = event.task
+        task_size = task_sizes.get(task)
+        if task_size is None:
+            task_length = len(task.encode("utf-8"))
+            task_size = _varint_size(task_length) + task_length
+            task_sizes[task] = task_size
+        if event.args:
+            # json.dumps escapes non-ASCII by default, so the string length
+            # equals the UTF-8 byte length.
+            payload_length = len(
+                json.dumps(dict(event.args), sort_keys=True, separators=(",", ":"))
+            )
+            payload_size = _varint_size(payload_length) + payload_length
+        else:
+            payload_size = 1
+        total += _varint_size(delta) + _varint_size(code) + 1 + task_size + payload_size
     return total
+
+
+def encoded_window_sizes(windows: Iterable[TraceWindow]) -> list[int]:
+    """Binary-encoded size of each window in a batch, in window order.
+
+    Each window is sized with a fresh codec (fresh registry, delta timestamps
+    restarting at the window boundary) exactly like a standalone
+    :func:`encoded_trace_size` call, so batched and per-window byte
+    accounting are bit-identical.
+    """
+    return [encoded_trace_size(window.events) for window in windows]

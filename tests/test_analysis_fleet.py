@@ -1,0 +1,297 @@
+"""Equivalence suite for the sharded monitoring fleet.
+
+The contract being locked down: a :class:`ShardedTraceMonitor` run over N
+labelled streams must be *bit-identical* — decisions, KL divergences, LOF
+scores, recorded window indices, byte accounting, detector counters, output
+files — to N independent :class:`TraceMonitor` runs over the same fitted
+model, regardless of batch size, shard scheduling caps or submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fleet import FleetResult, ShardedTraceMonitor
+from repro.analysis.model import ReferenceModel
+from repro.analysis.monitor import TraceMonitor
+from repro.config import DetectorConfig, MonitorConfig
+from repro.errors import FleetError, ModelError
+from repro.experiments.endurance import run_fleet_endurance_experiment
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.generator import PeriodicTraceGenerator, SyntheticTraceGenerator
+from repro.trace.reader import read_trace
+from repro.trace.stream import TraceStream, windows_by_duration
+from tests.conftest import make_mini_config
+
+WINDOW_US = 40_000
+K = 10
+
+NORMAL_MIX = {"mb_row_decode": 8.0, "frame_display": 1.0, "vsync": 1.0, "audio_decode": 2.0}
+ANOMALY_MIX = {"mb_row_decode": 1.0, "frame_drop": 3.0, "buffer_underrun": 2.0}
+
+
+@pytest.fixture(scope="module")
+def base_registry() -> EventTypeRegistry:
+    registry = EventTypeRegistry()
+    for name in NORMAL_MIX:
+        registry.register(name)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def shared_model(base_registry) -> ReferenceModel:
+    generator = SyntheticTraceGenerator(NORMAL_MIX, rate_per_s=2_000, seed=7)
+    reference = list(windows_by_duration(generator.events(20.0), WINDOW_US))
+    return ReferenceModel(k_neighbours=K).learn(reference, base_registry)
+
+
+@pytest.fixture(scope="module")
+def stream_windows() -> dict[str, list]:
+    """Five labelled streams: four perturbed ones and one with event types
+    the reference run never produced (registry-isolation probe)."""
+    streams = {}
+    for position in range(4):
+        generator = PeriodicTraceGenerator(
+            NORMAL_MIX,
+            ANOMALY_MIX,
+            anomaly_intervals=[(2.0 + position, 3.5 + position)],
+            rate_per_s=2_000,
+            seed=100 + position,
+        )
+        streams[f"device-{position}"] = list(
+            windows_by_duration(generator.events(8.0), WINDOW_US)
+        )
+    exotic_mix = dict(NORMAL_MIX)
+    exotic_mix["never_seen_before"] = 4.0
+    generator = SyntheticTraceGenerator(exotic_mix, rate_per_s=2_000, seed=999)
+    streams["exotic"] = list(windows_by_duration(generator.events(8.0), WINDOW_US))
+    return streams
+
+
+def independent_results(detector_config, monitor_config, base_registry, shared_model, stream_windows):
+    """N single-stream runs, each with its own clone of the base registry."""
+    results = {}
+    for label, windows in stream_windows.items():
+        solo = TraceMonitor(
+            detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+        )
+        results[label] = solo.monitor_windows(iter(windows), shared_model)
+    return results
+
+
+def assert_shard_equals_solo(shard, solo):
+    assert shard.decisions == solo.decisions
+    assert shard.lof_scores() == solo.lof_scores()
+    assert shard.recorded_indices == solo.recorded_indices
+    assert shard.report == solo.report
+    assert shard.detector_stats == solo.detector_stats
+
+
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 4, 64])
+    def test_fleet_identical_to_independent_runs(
+        self, base_registry, shared_model, stream_windows, batch_size
+    ):
+        detector_config = DetectorConfig(k_neighbours=K, lof_threshold=1.2)
+        monitor_config = MonitorConfig(batch_size=batch_size, record_context_windows=1)
+        fleet = ShardedTraceMonitor(
+            detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+        )
+        fleet_result = fleet.monitor_shards(
+            {label: iter(windows) for label, windows in stream_windows.items()},
+            shared_model,
+        )
+        solo_results = independent_results(
+            detector_config, monitor_config, base_registry, shared_model, stream_windows
+        )
+        assert fleet_result.shard_labels == tuple(stream_windows)
+        for label in stream_windows:
+            assert_shard_equals_solo(fleet_result.shard(label), solo_results[label])
+
+    def test_max_active_shards_does_not_change_results(
+        self, base_registry, shared_model, stream_windows
+    ):
+        detector_config = DetectorConfig(k_neighbours=K, lof_threshold=1.2)
+        reference = None
+        for cap in (None, 1, 2, 3):
+            monitor_config = MonitorConfig(batch_size=16, max_active_shards=cap)
+            fleet = ShardedTraceMonitor(
+                detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+            )
+            result = fleet.monitor_shards(
+                {label: iter(windows) for label, windows in stream_windows.items()},
+                shared_model,
+            )
+            payload = result.to_dict()
+            if reference is None:
+                reference = payload
+            else:
+                assert payload == reference
+
+    def test_deterministic_across_repeated_runs(
+        self, base_registry, shared_model, stream_windows
+    ):
+        detector_config = DetectorConfig(k_neighbours=K, lof_threshold=1.2)
+        monitor_config = MonitorConfig(batch_size=8)
+
+        def run():
+            fleet = ShardedTraceMonitor(
+                detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+            )
+            return fleet.monitor_shards(
+                {label: iter(windows) for label, windows in stream_windows.items()},
+                shared_model,
+            )
+
+        first, second = run(), run()
+        assert first.to_dict() == second.to_dict()
+        for label in stream_windows:
+            assert first.shard(label).decisions == second.shard(label).decisions
+
+    def test_output_files_match_single_stream_runs(
+        self, tmp_path, base_registry, shared_model, stream_windows
+    ):
+        detector_config = DetectorConfig(k_neighbours=K, lof_threshold=1.2)
+        monitor_config = MonitorConfig(batch_size=16, record_context_windows=1)
+        fleet = ShardedTraceMonitor(
+            detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+        )
+        fleet_dir = tmp_path / "fleet"
+        fleet.monitor_shards(
+            {label: iter(windows) for label, windows in stream_windows.items()},
+            shared_model,
+            output_dir=fleet_dir,
+        )
+        for label, windows in stream_windows.items():
+            solo = TraceMonitor(
+                detector_config, monitor_config, EventTypeRegistry(base_registry.names)
+            )
+            solo_path = tmp_path / f"solo-{label}.jsonl"
+            solo.monitor_windows(iter(windows), shared_model, output_path=solo_path)
+            assert read_trace(fleet_dir / f"{label}.jsonl") == read_trace(solo_path)
+
+
+class TestFleetAggregation:
+    @pytest.fixture(scope="class")
+    def fleet_result(self, base_registry, shared_model, stream_windows) -> FleetResult:
+        fleet = ShardedTraceMonitor(
+            DetectorConfig(k_neighbours=K, lof_threshold=1.2),
+            MonitorConfig(batch_size=16),
+            EventTypeRegistry(base_registry.names),
+        )
+        return fleet.monitor_shards(
+            {label: iter(windows) for label, windows in stream_windows.items()},
+            shared_model,
+        )
+
+    def test_aggregates_are_sums_of_shards(self, fleet_result):
+        shards = fleet_result.shard_results.values()
+        assert fleet_result.n_shards == len(fleet_result.shard_results)
+        assert fleet_result.n_windows == sum(s.n_windows for s in shards)
+        assert fleet_result.n_anomalous == sum(s.n_anomalous for s in shards)
+        report = fleet_result.report
+        for attribute in (
+            "total_windows",
+            "total_events",
+            "total_bytes",
+            "recorded_windows",
+            "recorded_events",
+            "recorded_bytes",
+        ):
+            assert getattr(report, attribute) == sum(
+                getattr(s.report, attribute) for s in shards
+            )
+        assert fleet_result.reduction_factor == report.reduction_factor
+        assert fleet_result.anomaly_rate == pytest.approx(
+            fleet_result.n_anomalous / fleet_result.n_windows
+        )
+
+    def test_merged_detector_stats(self, fleet_result):
+        stats = fleet_result.detector_stats
+        shards = fleet_result.shard_results.values()
+        assert stats["windows_processed"] == sum(
+            s.detector_stats["windows_processed"] for s in shards
+        )
+        assert stats["lof_computations"] == sum(
+            s.detector_stats["lof_computations"] for s in shards
+        )
+        assert stats["lof_computation_rate"] == pytest.approx(
+            stats["lof_computations"] / stats["windows_processed"]
+        )
+
+    def test_recorded_indices_per_shard(self, fleet_result):
+        per_shard = fleet_result.recorded_indices
+        assert set(per_shard) == set(fleet_result.shard_labels)
+        for label, indices in per_shard.items():
+            assert indices == fleet_result.shard(label).recorded_indices
+
+    def test_to_dict_is_json_ready(self, fleet_result):
+        import json
+
+        payload = fleet_result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["fleet"]["n_shards"] == fleet_result.n_shards
+        assert set(payload["shards"]) == set(fleet_result.shard_labels)
+
+
+class TestFleetValidation:
+    def test_unfitted_model_rejected(self, base_registry, stream_windows):
+        fleet = ShardedTraceMonitor(registry=EventTypeRegistry(base_registry.names))
+        with pytest.raises(ModelError):
+            fleet.monitor_shards(
+                {"x": iter(next(iter(stream_windows.values())))},
+                ReferenceModel(k_neighbours=K),
+            )
+
+    def test_unknown_shard_label_rejected(self, base_registry, shared_model, stream_windows):
+        fleet = ShardedTraceMonitor(
+            DetectorConfig(k_neighbours=K),
+            MonitorConfig(batch_size=16),
+            EventTypeRegistry(base_registry.names),
+        )
+        result = fleet.monitor_shards(
+            {"only": iter(next(iter(stream_windows.values())))}, shared_model
+        )
+        with pytest.raises(FleetError):
+            result.shard("nope")
+
+    def test_empty_fleet(self, shared_model, base_registry):
+        fleet = ShardedTraceMonitor(registry=EventTypeRegistry(base_registry.names))
+        result = fleet.monitor_shards({}, shared_model)
+        assert result.n_shards == 0
+        assert result.n_windows == 0
+        assert result.anomaly_rate == 0.0
+        assert result.report.reduction_factor == 1.0
+
+    def test_sequence_streams_get_default_labels(self, base_registry, shared_model):
+        events = [TraceEvent(i * 1_000, "mb_row_decode", task="t") for i in range(200)]
+        streams = [TraceStream(iter(list(events))) for _ in range(3)]
+        fleet = ShardedTraceMonitor(
+            DetectorConfig(k_neighbours=K),
+            MonitorConfig(window_duration_us=WINDOW_US),
+            EventTypeRegistry(base_registry.names),
+        )
+        result = fleet.run_on_streams(streams, shared_model)
+        assert result.shard_labels == ("stream-00", "stream-01", "stream-02")
+
+
+class TestFleetEnduranceExperiment:
+    def test_multi_stream_endurance_entry_point(self):
+        config = make_mini_config(duration_s=90.0)
+        result = run_fleet_endurance_experiment(config, n_streams=2, seed_stride=17)
+        assert result.n_streams == 2
+        assert result.reference_window_count > 0
+        assert result.fleet_result.n_shards == 2
+        assert result.fleet_result.n_windows > 0
+        payload = result.summary()
+        assert payload["fleet"]["n_streams"] == 2
+        assert "stream-00" in payload["shards"]
+        # Different media seeds must give genuinely different streams.
+        shard0, shard1 = result.fleet_result.shard_results.values()
+        assert shard0.report.total_bytes != shard1.report.total_bytes
+
+    def test_n_streams_validation(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_fleet_endurance_experiment(make_mini_config(), n_streams=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.analysis.recorder import FullTraceRecorder, RecorderReport, SelectiveTraceRecorder
@@ -111,6 +113,140 @@ class TestSelectiveRecorder:
         assert payload["reduction_factor"] == pytest.approx(1.0)
 
 
+class TestContextWindowSemantics:
+    """Context recording around anomalies, serial and batched alike."""
+
+    def test_overlapping_contexts_record_each_window_once(self):
+        windows = make_windows(n_windows=12)
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        for window in windows:
+            recorder.observe(window, record=window.index in {4, 7})
+        # Contexts [2..6] and [5..9] intersect; the shared windows 5 and 6
+        # fall in window 4's post-context and must not be written twice.
+        assert recorder.recorded_indices == [2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_anomaly_in_first_window_has_no_pre_context(self):
+        windows = make_windows(n_windows=6)
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        for window in windows:
+            recorder.observe(window, record=window.index == 0)
+        assert recorder.recorded_indices == [0, 1, 2]
+
+    def test_anomaly_in_last_window_has_no_post_context(self):
+        windows = make_windows(n_windows=6)
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        for window in windows:
+            recorder.observe(window, record=window.index == 5)
+        assert recorder.recorded_indices == [3, 4, 5]
+
+    def test_pre_context_bytes_are_not_recomputed(self):
+        """Pre-context windows keep the byte size supplied to observe()."""
+        windows = make_windows(n_windows=4)
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        sentinel_sizes = [1000, 2000, 4000, 8000]
+        for window, size in zip(windows, sentinel_sizes):
+            recorder.observe(window, record=window.index == 2, window_bytes=size)
+        report = recorder.report()
+        # Windows 0, 1 (pre-context), 2 (anomaly) and 3 (post-context) were
+        # recorded; the accounting must reuse the caller-provided sizes even
+        # for the buffered pre-context windows.
+        assert recorder.recorded_indices == [0, 1, 2, 3]
+        assert report.recorded_bytes == sum(sentinel_sizes)
+
+    @pytest.mark.parametrize("context", [0, 1, 3])
+    @pytest.mark.parametrize("chunk", [1, 2, 5, 64])
+    def test_observe_batch_matches_serial_observe(self, tmp_path, context, chunk):
+        rng = random.Random(context * 100 + chunk)
+        windows = make_windows(n_windows=40)
+        flags = [rng.random() < 0.2 for _ in windows]
+        sizes = [encoded_trace_size(window.events) for window in windows]
+
+        serial_path = tmp_path / f"serial-{context}-{chunk}.jsonl"
+        serial = SelectiveTraceRecorder(
+            context_windows=context, output_path=serial_path, io_buffer_bytes=0
+        )
+        serial_wrote = [
+            serial.observe(window, flag, size)
+            for window, flag, size in zip(windows, flags, sizes)
+        ]
+        serial.close()
+
+        batched_path = tmp_path / f"batched-{context}-{chunk}.jsonl"
+        batched = SelectiveTraceRecorder(
+            context_windows=context, output_path=batched_path
+        )
+        batched_wrote = []
+        for start in range(0, len(windows), chunk):
+            stop = start + chunk
+            batched_wrote.extend(
+                batched.observe_batch(
+                    windows[start:stop], flags[start:stop], sizes[start:stop]
+                )
+            )
+        batched.close()
+
+        assert batched_wrote == serial_wrote
+        assert batched.recorded_indices == serial.recorded_indices
+        assert batched.report() == serial.report()
+        assert batched_path.read_text() == serial_path.read_text()
+
+    def test_context_with_batches_straddling_anomalies(self):
+        """Anomaly at a batch boundary must pull pre-context from the
+        previous batch and post-context from the next one."""
+        windows = make_windows(n_windows=9)
+        flags = [window.index == 4 for window in windows]
+        recorder = SelectiveTraceRecorder(context_windows=2)
+        for start in range(0, 9, 3):
+            recorder.observe_batch(windows[start : start + 3], flags[start : start + 3])
+        assert recorder.recorded_indices == [2, 3, 4, 5, 6]
+
+
+class TestBatchedIo:
+    def test_observe_batch_length_mismatch_rejected(self):
+        windows = make_windows(n_windows=3)
+        recorder = SelectiveTraceRecorder()
+        with pytest.raises(RecorderError):
+            recorder.observe_batch(windows, [True])
+        with pytest.raises(RecorderError):
+            recorder.observe_batch(windows, [True] * 3, window_bytes=[1])
+
+    def test_observe_batch_after_close_rejected(self):
+        recorder = SelectiveTraceRecorder()
+        recorder.close()
+        with pytest.raises(RecorderError):
+            recorder.observe_batch(make_windows(1), [True])
+
+    def test_negative_io_buffer_rejected(self):
+        with pytest.raises(RecorderError):
+            SelectiveTraceRecorder(io_buffer_bytes=-1)
+
+    def test_buffered_and_unbuffered_files_are_identical(self, tmp_path):
+        windows = make_windows(n_windows=20)
+        unbuffered_path = tmp_path / "unbuffered.jsonl"
+        with SelectiveTraceRecorder(
+            output_path=unbuffered_path, io_buffer_bytes=0
+        ) as unbuffered:
+            for window in windows:
+                unbuffered.observe(window, record=True)
+        buffered_path = tmp_path / "buffered.jsonl"
+        with SelectiveTraceRecorder(
+            output_path=buffered_path, io_buffer_bytes=1 << 20
+        ) as buffered:
+            buffered.observe_batch(windows, [True] * len(windows))
+        assert buffered_path.read_text() == unbuffered_path.read_text()
+        assert buffered.io_write_count < unbuffered.io_write_count
+
+    def test_buffer_flushes_at_threshold(self, tmp_path):
+        windows = make_windows(n_windows=10)
+        path = tmp_path / "threshold.jsonl"
+        recorder = SelectiveTraceRecorder(output_path=path, io_buffer_bytes=1)
+        recorder.observe(windows[0], record=True)
+        # A 1-byte buffer flushes on every recorded window.
+        assert recorder.io_write_count == 1
+        recorder.close()
+        assert read_trace(path) == list(windows[0].events)
+
+
 class TestFullRecorder:
     def test_records_everything(self):
         windows = make_windows()
@@ -123,3 +259,19 @@ class TestFullRecorder:
         expected_bytes = sum(encoded_trace_size(window.events) for window in windows)
         assert report.total_bytes == expected_bytes
         recorder.close()
+
+    def test_context_manager_and_observe_batch(self, tmp_path):
+        windows = make_windows(n_windows=5)
+        path = tmp_path / "full.jsonl"
+        with FullTraceRecorder(output_path=path) as recorder:
+            wrote = recorder.observe_batch(windows)
+        assert wrote == [True] * len(windows)
+        assert recorder.report().recorded_windows == len(windows)
+        saved = read_trace(path)
+        assert saved == [event for window in windows for event in window.events]
+
+    def test_report_merged_with_sums_fields(self):
+        left = RecorderReport(2, 10, 100, 1, 5, 50)
+        right = RecorderReport(3, 20, 200, 2, 10, 150)
+        merged = left.merged_with(right)
+        assert merged == RecorderReport(5, 30, 300, 3, 15, 200)

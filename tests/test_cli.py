@@ -34,10 +34,12 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("simulate", "stats", "learn", "monitor", "experiment", "sweep"):
+        for command in (
+            "simulate", "stats", "learn", "monitor", "fleet", "experiment", "sweep"
+        ):
             assert parser.parse_args([command] + (
                 ["--output", "x"] if command == "simulate" else
-                ["t"] if command in {"stats", "learn", "monitor"} else []
+                ["t"] if command in {"stats", "learn", "monitor", "fleet"} else []
             ) + (["--model", "m"] if command == "learn" else [])).command == command
 
 
@@ -119,6 +121,97 @@ class TestLearnAndMonitor:
         )
         payload = json.loads(capsys.readouterr().out)
         assert payload["anomalous"] >= 0
+
+
+class TestFleet:
+    @pytest.fixture()
+    def trace_files(self, tmp_path, normal_mix, anomaly_mix):
+        paths = []
+        for position in range(3):
+            generator = PeriodicTraceGenerator(
+                normal_mix,
+                anomaly_mix,
+                anomaly_intervals=[(6.0 + position, 8.0 + position)],
+                rate_per_s=2_000,
+                seed=31 + position,
+            )
+            path = tmp_path / f"stream{position}.jsonl"
+            write_trace(generator.events(14.0), path)
+            paths.append(path)
+        return paths
+
+    def test_fleet_learns_from_first_trace_and_monitors_all(
+        self, trace_files, tmp_path, capsys
+    ):
+        output_dir = tmp_path / "recorded"
+        code = main(
+            [
+                "--json",
+                "fleet",
+                *[str(path) for path in trace_files],
+                "--reference-s",
+                "4",
+                "--k",
+                "10",
+                "--batch-size",
+                "32",
+                "--output-dir",
+                str(output_dir),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["n_shards"] == 3
+        assert payload["fleet"]["total_windows"] > 0
+        assert set(payload["shards"]) == {"stream0", "stream1", "stream2"}
+        for label in payload["shards"]:
+            assert (output_dir / f"{label}.jsonl").exists()
+
+    def test_fleet_text_output(self, trace_files, capsys):
+        assert (
+            main(["fleet", *[str(p) for p in trace_files], "--reference-s", "4", "--k", "10"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet: 3 shards" in out
+        assert "stream0:" in out
+
+    def test_duplicate_stems_get_unique_labels(self, tmp_path, normal_mix, capsys):
+        from repro.trace.generator import SyntheticTraceGenerator
+
+        for sub in ("a", "b"):
+            directory = tmp_path / sub
+            directory.mkdir()
+            generator = SyntheticTraceGenerator(normal_mix, rate_per_s=2_000, seed=5)
+            write_trace(generator.events(10.0), directory / "trace.jsonl")
+        code = main(
+            [
+                "--json",
+                "fleet",
+                str(tmp_path / "a" / "trace.jsonl"),
+                str(tmp_path / "b" / "trace.jsonl"),
+                "--reference-s",
+                "4",
+                "--k",
+                "10",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["shards"]) == {"trace", "trace-1"}
+
+    def test_dedup_suffix_colliding_with_real_stem(self):
+        from pathlib import Path
+
+        from repro.cli.main import _shard_labels
+
+        labels = _shard_labels(
+            [Path("a/trace.jsonl"), Path("b/trace.jsonl"), Path("c/trace-1.jsonl")]
+        )
+        # Every trace must keep its own shard: no silent drop when a dedup
+        # suffix collides with a real file stem.
+        assert len(set(labels)) == 3
+        assert labels == ["trace", "trace-1", "trace-1-1"]
 
 
 class TestSimulate:

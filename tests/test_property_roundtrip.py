@@ -1,0 +1,188 @@
+"""Property-based round-trip tests over randomly generated event streams.
+
+Seeded :mod:`random` generators (no extra dependencies) produce arbitrary
+event streams — unicode task names, unseen event types, empty windows,
+irregular payloads — and every lossless transformation the pipeline relies
+on is checked end to end:
+
+* ``windows_by_duration`` -> ``batch_windows`` -> ``WindowBatch.to_windows``
+  must reproduce the source windows and their columnar codes exactly;
+* ``JsonTraceCodec`` and ``BinaryTraceCodec`` encode/decode must be lossless;
+* the batched codec APIs (``encode_events`` / ``encoded_sizes`` /
+  ``encoded_window_sizes``) must agree with their per-event counterparts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.trace.batch import WindowBatch, batch_windows
+from repro.trace.codec import (
+    BinaryTraceCodec,
+    JsonTraceCodec,
+    encoded_trace_size,
+    encoded_window_sizes,
+)
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.stream import windows_by_duration
+
+#: Known event-type pool (pre-registered) plus exotic names the registry has
+#: never seen, including unicode and whitespace-bearing types.
+KNOWN_TYPES = ["alpha", "beta", "gamma", "delta"]
+UNSEEN_TYPES = ["zeta_new", "Ω-type", "spaces in name", "json\"quote", "émission"]
+
+TASKS = ["", "decoder", "τ-worker", "a/b\\c", "日本語"]
+
+SEEDS = range(12)
+
+
+def random_args(rng: random.Random) -> dict:
+    """A JSON-round-trippable payload of random shape."""
+    if rng.random() < 0.4:
+        return {}
+    args = {}
+    for _ in range(rng.randint(1, 3)):
+        key = rng.choice(["frame", "level", "note", "flag", "π"])
+        args[key] = rng.choice(
+            [
+                rng.randint(-1000, 1000),
+                rng.random(),
+                rng.choice(["x", "Ω", ""]),
+                rng.random() < 0.5,
+                None,
+                [1, "two", 3.0],
+            ]
+        )
+    return args
+
+
+def random_events(rng: random.Random, n_events: int, max_gap_us: int = 3_000):
+    """A timestamp-ordered stream with bursts and long silent gaps."""
+    events = []
+    timestamp = rng.randint(0, 500)
+    for _ in range(n_events):
+        # Occasional long gaps leave entire windows empty.
+        gap = rng.randint(20_000, 80_000) if rng.random() < 0.05 else rng.randint(0, max_gap_us)
+        timestamp += gap
+        pool = KNOWN_TYPES if rng.random() < 0.8 else UNSEEN_TYPES
+        events.append(
+            TraceEvent(
+                timestamp_us=timestamp,
+                etype=rng.choice(pool),
+                core=rng.randint(0, 255),
+                task=rng.choice(TASKS),
+                args=random_args(rng),
+            )
+        )
+    return events
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_window_batch_roundtrip_is_lossless(seed):
+    rng = random.Random(seed)
+    events = random_events(rng, rng.randint(0, 400))
+    windows = list(windows_by_duration(events, 10_000))
+    registry = EventTypeRegistry(KNOWN_TYPES)
+    batch_size = rng.choice([1, 2, 3, 7, 16, 1000])
+
+    batches = list(batch_windows(iter(windows), registry, batch_size))
+    rebuilt = [window for batch in batches for window in batch.to_windows()]
+    assert rebuilt == windows
+
+    # The columnar codes must decode back to the exact event-type sequence.
+    for batch in batches:
+        for position in range(len(batch)):
+            window = batch.window(position)
+            names = [registry.name(int(code)) for code in batch.window_codes(position)]
+            assert names == [event.etype for event in window.events]
+        assert list(batch.event_counts) == [len(w) for w in batch.to_windows()]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_window_batch_registry_growth_matches_sequential(seed):
+    """``dims`` must record the registry size after each window in order."""
+    rng = random.Random(seed + 1000)
+    events = random_events(rng, rng.randint(1, 300))
+    windows = list(windows_by_duration(events, 10_000))
+
+    serial_registry = EventTypeRegistry(KNOWN_TYPES)
+    expected_dims = []
+    for window in windows:
+        for event in window.events:
+            serial_registry.register(event.etype)
+        expected_dims.append(len(serial_registry))
+
+    batched_registry = EventTypeRegistry(KNOWN_TYPES)
+    batch = WindowBatch.from_windows(windows, batched_registry)
+    assert list(batch.dims) == expected_dims
+    assert batched_registry.names == serial_registry.names
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_json_codec_roundtrip_is_lossless(seed):
+    rng = random.Random(seed + 2000)
+    events = random_events(rng, rng.randint(0, 200))
+    codec = JsonTraceCodec()
+    decoded = list(codec.decode(codec.encode(events)))
+    assert decoded == events
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_binary_codec_roundtrip_is_lossless(seed):
+    rng = random.Random(seed + 3000)
+    events = random_events(rng, rng.randint(0, 200))
+    codec = BinaryTraceCodec()
+    assert codec.decode(codec.encode(events)) == events
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_codec_apis_match_per_event_apis(seed):
+    rng = random.Random(seed + 4000)
+    events = random_events(rng, rng.randint(0, 150))
+    codec = JsonTraceCodec()
+
+    block = codec.encode_events(events)
+    assert block == "".join(codec.encode_event(event) + "\n" for event in events)
+    assert list(codec.decode(block)) == events
+
+    sizes = codec.encoded_sizes(events)
+    assert sizes == [
+        len(codec.encode_event(event).encode("utf-8")) for event in events
+    ]
+
+    windows = list(windows_by_duration(events, 10_000))
+    assert encoded_window_sizes(windows) == [
+        encoded_trace_size(window.events) for window in windows
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_arithmetic_trace_size_matches_real_encoder(seed):
+    """``encoded_trace_size`` computes sizes without encoding; it must equal
+    the byte length of an actual shared-codec encoding pass exactly."""
+    rng = random.Random(seed + 5000)
+    events = random_events(rng, rng.randint(0, 200))
+    codec = BinaryTraceCodec()
+    expected = 0
+    previous = 0
+    for event in events:
+        expected += codec.event_size(event, previous)
+        previous = event.timestamp_us
+    assert encoded_trace_size(events) == expected
+
+
+def test_empty_stream_edge_cases():
+    codec = JsonTraceCodec()
+    assert codec.encode_events([]) == ""
+    assert codec.encoded_sizes([]) == []
+    assert encoded_window_sizes([]) == []
+    assert list(codec.decode("")) == []
+
+    registry = EventTypeRegistry(KNOWN_TYPES)
+    windows = list(windows_by_duration([], 10_000))
+    assert len(windows) == 1 and windows[0].is_empty
+    batches = list(batch_windows(iter(windows), registry, 4))
+    assert [w for b in batches for w in b.to_windows()] == windows
+    assert batches[0].n_events == 0
