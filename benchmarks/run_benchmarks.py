@@ -44,6 +44,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the whole benchmarks/ directory instead of the throughput pair",
     )
+    parser.add_argument(
+        "--fleet-workers",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated worker counts for the fleet worker sweep "
+        "(sets REPRO_BENCH_FLEET_WORKERS; default: the bench's 1,2,4)",
+    )
     args, passthrough = parser.parse_known_args(argv)
     if passthrough and passthrough[0] == "--":
         passthrough = passthrough[1:]
@@ -63,6 +70,8 @@ def main(argv: list[str] | None = None) -> int:
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
+    if args.fleet_workers is not None:
+        env["REPRO_BENCH_FLEET_WORKERS"] = args.fleet_workers
     print("+", " ".join(command))
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 

@@ -27,6 +27,18 @@ same model, while sharing the model memory and interleaving shards
 batch-by-batch (the :class:`WindowBatch` is the unit of work distribution).
 ``MonitorConfig.max_active_shards`` bounds how many shards are open at once
 for very wide fleets; scheduling order never changes the results.
+
+Two execution backends produce that same result:
+
+* **serial** (``MonitorConfig.fleet_workers == 1``, the default) — one
+  process interleaves every shard batch-by-batch, exactly as in PR 2;
+* **process-parallel** (``fleet_workers > 1``) — whole shards are
+  partitioned across a worker-process pool
+  (:func:`~repro.analysis.parallel.monitor_shards_parallel`); the fitted
+  model ships to each worker once, recorders stay worker-local, and the
+  per-shard results are merged deterministically in submission order.
+  A worker exception surfaces as :class:`~repro.errors.FleetError` naming
+  the failing shard after every other shard has closed its output file.
 """
 
 from __future__ import annotations
@@ -45,7 +57,13 @@ from ..trace.stream import TraceStream
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
-from .monitor import MonitorResult, score_and_record_batch
+from .monitor import (
+    MonitorResult,
+    build_shard_pipeline,
+    detector_stats_snapshot,
+    score_and_record_batch,
+)
+from .parallel import monitor_shards_parallel
 from .recorder import RecorderReport, SelectiveTraceRecorder
 
 __all__ = ["FleetResult", "ShardedTraceMonitor"]
@@ -250,13 +268,53 @@ class ShardedTraceMonitor:
         """Monitor already-windowed shard streams against a fitted model.
 
         When ``output_dir`` is given each shard records its anomalous
-        windows to ``<output_dir>/<label>.jsonl``.
+        windows to ``<output_dir>/<label>.jsonl``.  With
+        ``MonitorConfig.fleet_workers > 1`` the shards are partitioned
+        across a process pool instead of being interleaved serially; the
+        merged result is bit-identical either way.
         """
         if not model.is_fitted:
             raise ModelError("the shared reference model must be fitted")
         labels = list(shards)
         if len(set(labels)) != len(labels):
             raise FleetError("shard labels must be unique")
+        if self.monitor_config.fleet_workers > 1 and labels:
+            ordered = monitor_shards_parallel(
+                shards,
+                model,
+                self.detector_config,
+                self.monitor_config,
+                self.registry.names,
+                output_dir=output_dir,
+                keep_events=keep_events,
+            )
+        else:
+            ordered = self._monitor_shards_serial(
+                shards, labels, model, output_dir, keep_events
+            )
+        result = FleetResult(shard_results=ordered, model=model)
+        _LOGGER.info(
+            "fleet done: %d shards, %d windows, %d anomalous, "
+            "reduction factor %.1f",
+            result.n_shards,
+            result.n_windows,
+            result.n_anomalous,
+            result.report.reduction_factor,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _monitor_shards_serial(
+        self,
+        shards: Mapping[str, Iterable[TraceWindow]],
+        labels: list[str],
+        model: ReferenceModel,
+        output_dir: str | Path | None,
+        keep_events: bool,
+    ) -> dict[str, MonitorResult]:
+        """Interleave every shard batch-by-batch in this process."""
         cap = self.monitor_config.max_active_shards
         if cap is None:
             cap = max(len(labels), 1)
@@ -285,21 +343,8 @@ class ShardedTraceMonitor:
             for shard in opened:
                 shard.recorder.close()
 
-        ordered = {label: results[label] for label in labels}
-        result = FleetResult(shard_results=ordered, model=model)
-        _LOGGER.info(
-            "fleet done: %d shards, %d windows, %d anomalous, "
-            "reduction factor %.1f",
-            result.n_shards,
-            result.n_windows,
-            result.n_anomalous,
-            result.report.reduction_factor,
-        )
-        return result
+        return {label: results[label] for label in labels}
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
     @staticmethod
     def _label_streams(
         streams: Mapping[str, TraceStream] | Sequence[TraceStream],
@@ -320,16 +365,16 @@ class ShardedTraceMonitor:
         keep_events: bool,
     ) -> _Shard:
         config = self.monitor_config
-        shard_registry = EventTypeRegistry(self.registry.names)
-        detector = OnlineAnomalyDetector(model, self.detector_config, shard_registry)
         output_path = (
             Path(output_dir) / f"{label}.jsonl" if output_dir is not None else None
         )
-        recorder = SelectiveTraceRecorder(
-            context_windows=config.record_context_windows,
+        shard_registry, detector, recorder = build_shard_pipeline(
+            model,
+            self.detector_config,
+            config,
+            self.registry.names,
             output_path=output_path,
             keep_events=keep_events,
-            io_buffer_bytes=config.io_buffer_bytes,
         )
         batches = batch_windows(
             iter(windows), shard_registry, max(config.batch_size, 1)
@@ -345,17 +390,11 @@ class ShardedTraceMonitor:
     @staticmethod
     def _finalize(shard: _Shard, model: ReferenceModel) -> MonitorResult:
         shard.recorder.close()
-        detector = shard.detector
         return MonitorResult(
             decisions=shard.decisions,
             report=shard.recorder.report(),
             model=model,
             recorded_indices=shard.recorder.recorded_indices,
             reference_window_count=0,
-            detector_stats={
-                "windows_processed": detector.n_processed,
-                "windows_merged": detector.n_merged,
-                "lof_computations": detector.n_lof_computed,
-                "lof_computation_rate": detector.lof_computation_rate,
-            },
+            detector_stats=detector_stats_snapshot(shard.detector),
         )

@@ -69,6 +69,22 @@ class ReferenceModel:
         ] = {}
 
     # ------------------------------------------------------------------ #
+    # Pickling (worker handoff)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle support for shipping a fitted model to worker processes.
+
+        The projection cache is dropped: it is keyed by the ``id()`` of live
+        registry objects, which is meaningless in another process (a new
+        registry could even collide with a stale key and return the wrong
+        projection map).  The cache is rebuilt lazily on first use, so an
+        unpickled model scores bit-identically to the original.
+        """
+        state = self.__dict__.copy()
+        state["_projection_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------ #
     # Learning
     # ------------------------------------------------------------------ #
     def learn(

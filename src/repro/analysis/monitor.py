@@ -28,9 +28,56 @@ from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
 from .recorder import RecorderReport, SelectiveTraceRecorder
 
-__all__ = ["MonitorResult", "TraceMonitor"]
+__all__ = [
+    "MonitorResult",
+    "TraceMonitor",
+    "build_shard_pipeline",
+    "detector_stats_snapshot",
+]
 
 _LOGGER = get_logger("analysis.monitor")
+
+
+def build_shard_pipeline(
+    model: ReferenceModel,
+    detector_config: DetectorConfig,
+    monitor_config: MonitorConfig,
+    registry_names,
+    output_path: str | Path | None = None,
+    keep_events: bool = False,
+) -> tuple[EventTypeRegistry, OnlineAnomalyDetector, SelectiveTraceRecorder]:
+    """Build one shard's scoring pipeline: cloned registry, detector, recorder.
+
+    Single definition shared by the serial fleet
+    (:meth:`~repro.analysis.fleet.ShardedTraceMonitor._activate`) and the
+    process-parallel workers (:mod:`repro.analysis.parallel`): the two
+    backends advertise bit-identical results, so the objects they score with
+    must be constructed in exactly one place.
+    """
+    registry = EventTypeRegistry(tuple(registry_names))
+    detector = OnlineAnomalyDetector(model, detector_config, registry)
+    recorder = SelectiveTraceRecorder(
+        context_windows=monitor_config.record_context_windows,
+        output_path=output_path,
+        keep_events=keep_events,
+        io_buffer_bytes=monitor_config.io_buffer_bytes,
+    )
+    return registry, detector, recorder
+
+
+def detector_stats_snapshot(detector: OnlineAnomalyDetector) -> dict[str, float]:
+    """Counter snapshot of a detector, as stored in ``MonitorResult``.
+
+    Single definition shared by :class:`TraceMonitor`, the serial fleet and
+    the process-parallel fleet workers, so the stats dictionaries compared by
+    the equivalence suites cannot drift apart structurally.
+    """
+    return {
+        "windows_processed": detector.n_processed,
+        "windows_merged": detector.n_merged,
+        "lof_computations": detector.n_lof_computed,
+        "lof_computation_rate": detector.lof_computation_rate,
+    }
 
 
 def score_and_record_batch(
@@ -191,12 +238,7 @@ class TraceMonitor:
             model=model,
             recorded_indices=recorder.recorded_indices,
             reference_window_count=reference_window_count,
-            detector_stats={
-                "windows_processed": detector.n_processed,
-                "windows_merged": detector.n_merged,
-                "lof_computations": detector.n_lof_computed,
-                "lof_computation_rate": detector.lof_computation_rate,
-            },
+            detector_stats=detector_stats_snapshot(detector),
         )
         _LOGGER.info(
             "monitoring done: %d windows, %d anomalous, reduction factor %.1f",

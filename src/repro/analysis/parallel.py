@@ -1,0 +1,299 @@
+"""Process-parallel execution backend for the sharded monitoring fleet.
+
+The serial :class:`~repro.analysis.fleet.ShardedTraceMonitor` interleaves
+every shard in one Python thread, so adding streams adds wall-clock time
+almost linearly.  This module moves whole shards to worker processes:
+
+* the fitted :class:`~repro.analysis.model.ReferenceModel` is pickled **once**
+  and shipped to each worker at pool start-up (the model drops its
+  identity-keyed projection cache on pickling and is strictly read-only
+  afterwards — workers never write to it);
+* each shard is one unit of work: the worker clones the fleet's base
+  event-type registry, builds its own detector and recorder (recorders are
+  worker-local by construction — they refuse to pickle), and drives the
+  shard's windows through the exact same
+  :func:`~repro.analysis.monitor.score_and_record_batch` plane the serial
+  fleet uses;
+* per-shard outcomes are marshalled back as plain picklable pieces
+  (decisions, report, recorded indices, detector counters) and merged in
+  **submission order**, so the resulting
+  :class:`~repro.analysis.fleet.FleetResult` is bit-identical to the serial
+  fleet's regardless of which worker finished first (the PR 2 equivalence
+  suite runs against both backends).
+
+Failure propagation: a worker exception is caught inside the worker, carried
+back as data and re-raised in the parent as :class:`~repro.errors.FleetError`
+naming the failing shard — never a hang, and never a lost traceback.  All
+shards run to completion (closing their output files) before the error is
+raised, so a single bad stream cannot leave sibling recordings truncated.
+
+The one semantic difference from the serial backend: shard window iterables
+are materialised in the parent before submission (workers must be able to
+see them), so the parallel path trades memory proportional to the fleet for
+multi-core scaling.  ``MonitorConfig.max_active_shards`` does not apply —
+at most ``fleet_workers`` shards are in flight at any moment.
+
+Window transport
+----------------
+Scoring a window costs far less CPU than pickling its events (the batch
+plane reduced per-window compute to a few microseconds, while a
+``TraceWindow`` of a few hundred events costs milliseconds to serialise),
+so shipping windows through the pool's pickle queue would make the parallel
+fleet slower than the serial one at any core count.  On platforms with the
+``fork`` start method the materialised shard windows are therefore
+**inherited**: the parent parks them in a module global, pins a fork
+context, and the work order carries only the shard label — the bulk data
+crosses the process boundary through copy-on-write fork memory at zero
+serialisation cost.  Where fork is unavailable the windows travel inside
+the (pickled) work order instead; both transports are exercised by the
+equivalence suite and produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..config import DetectorConfig, MonitorConfig
+from ..errors import FleetError
+from ..logging_util import get_logger
+from ..trace.batch import batch_windows
+from ..trace.window import TraceWindow
+from .detector import WindowDecision
+from .model import ReferenceModel
+from .monitor import (
+    MonitorResult,
+    build_shard_pipeline,
+    detector_stats_snapshot,
+    score_and_record_batch,
+)
+from .recorder import RecorderReport
+
+__all__ = ["fork_transport_available", "monitor_shards_parallel"]
+
+_LOGGER = get_logger("analysis.parallel")
+
+
+@dataclass(frozen=True)
+class _WorkerState:
+    """Read-only context shipped to every worker once, at pool start-up."""
+
+    model: ReferenceModel
+    detector_config: DetectorConfig
+    monitor_config: MonitorConfig
+    registry_names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's work order (everything here must pickle cheaply).
+
+    ``windows`` is ``None`` when the shard's windows travel via fork
+    inheritance (:data:`_SHARD_WINDOWS`) instead of the pickle queue.
+    """
+
+    label: str
+    windows: tuple[TraceWindow, ...] | None
+    output_path: Path | None
+    keep_events: bool
+
+
+@dataclass
+class _ShardOutcome:
+    """Picklable result of one shard run, model deliberately excluded.
+
+    The parent re-attaches the shared model when assembling the
+    :class:`MonitorResult`, so the (large) model never travels back through
+    the result queue N times.
+    """
+
+    label: str
+    decisions: list[WindowDecision] = field(default_factory=list)
+    report: RecorderReport | None = None
+    recorded_indices: list[int] = field(default_factory=list)
+    detector_stats: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+
+#: Per-process worker context, set by :func:`_initialize_worker`.
+_WORKER_STATE: _WorkerState | None = None
+
+#: Fork-inheritance staging area: the parent parks every shard's
+#: materialised windows here immediately before creating a fork-context
+#: pool, so the (forked) workers read them from inherited copy-on-write
+#: memory instead of the pickle queue.  Always reset to ``None`` in the
+#: parent once the pool is done.
+_SHARD_WINDOWS: dict[str, tuple[TraceWindow, ...]] | None = None
+
+
+def fork_transport_available() -> bool:
+    """Whether workers can inherit parent memory (fork start method).
+
+    Deliberately keyed on the *configured default* start method rather than
+    on fork being merely importable: on platforms where the default is
+    spawn/forkserver (macOS, Windows, Linux from Python 3.14), forking from
+    an arbitrary parent state is unsafe or unexpected, so the windows
+    travel through the pickle queue instead.
+    """
+    return multiprocessing.get_start_method() == "fork"
+
+
+def _initialize_worker(payload: bytes) -> None:
+    """Unpickle the shared worker context exactly once per worker process.
+
+    The payload is pickled explicitly in the parent (rather than relying on
+    ``initargs`` marshalling) so the model's ``__getstate__`` runs under
+    every multiprocessing start method — fork included — and each worker
+    gets its own deserialised model instance instead of a copy-on-write
+    alias of the parent's.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def _run_shard(task: _ShardTask) -> _ShardOutcome:
+    """Monitor one shard inside a worker process.
+
+    Mirrors the serial fleet's per-shard pipeline exactly: cloned base
+    registry, per-shard detector and recorder, ``score_and_record_batch``
+    over ``batch_windows`` micro-batches.  Exceptions are marshalled back as
+    data — raising across the pool boundary would lose the shard label and
+    can hang brittle pool implementations on unpicklable exceptions.
+    """
+    state = _WORKER_STATE
+    if state is None:
+        return _ShardOutcome(
+            label=task.label, error="worker process was never initialised"
+        )
+    try:
+        if task.windows is not None:
+            windows = task.windows
+        elif _SHARD_WINDOWS is not None and task.label in _SHARD_WINDOWS:
+            windows = _SHARD_WINDOWS[task.label]
+        else:
+            return _ShardOutcome(
+                label=task.label,
+                error="shard windows were neither pickled nor fork-inherited",
+            )
+        config = state.monitor_config
+        registry, detector, recorder = build_shard_pipeline(
+            state.model,
+            state.detector_config,
+            config,
+            state.registry_names,
+            output_path=task.output_path,
+            keep_events=task.keep_events,
+        )
+        decisions: list[WindowDecision] = []
+        try:
+            for batch in batch_windows(
+                iter(windows), registry, max(config.batch_size, 1)
+            ):
+                decisions.extend(score_and_record_batch(detector, recorder, batch))
+        finally:
+            recorder.close()
+        return _ShardOutcome(
+            label=task.label,
+            decisions=decisions,
+            report=recorder.report(),
+            recorded_indices=recorder.recorded_indices,
+            detector_stats=detector_stats_snapshot(detector),
+        )
+    except Exception as exc:
+        return _ShardOutcome(
+            label=task.label,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+        )
+
+
+def monitor_shards_parallel(
+    shards: Mapping[str, Iterable[TraceWindow]],
+    model: ReferenceModel,
+    detector_config: DetectorConfig,
+    monitor_config: MonitorConfig,
+    registry_names: Sequence[str],
+    output_dir: str | Path | None = None,
+    keep_events: bool = False,
+) -> dict[str, MonitorResult]:
+    """Run every shard in a process pool; results keyed in submission order.
+
+    The caller (:meth:`ShardedTraceMonitor.monitor_shards`) has already
+    validated the model and label uniqueness.  Raises :class:`FleetError`
+    naming the first failing shard (in submission order) after every shard
+    has finished and closed its output file.
+    """
+    global _SHARD_WINDOWS
+    labels = list(shards)
+    use_fork = fork_transport_available()
+    materialised = {label: tuple(windows) for label, windows in shards.items()}
+    tasks = []
+    for label in labels:
+        output_path = (
+            Path(output_dir) / f"{label}.jsonl" if output_dir is not None else None
+        )
+        tasks.append(
+            _ShardTask(
+                label,
+                None if use_fork else materialised[label],
+                output_path,
+                keep_events,
+            )
+        )
+    workers = max(1, min(monitor_config.fleet_workers, len(tasks)))
+    _LOGGER.info(
+        "parallel fleet: %d shards across %d worker processes (%s transport)",
+        len(tasks),
+        workers,
+        "fork" if use_fork else "pickle",
+    )
+    context = multiprocessing.get_context("fork") if use_fork else None
+    outcomes: dict[str, _ShardOutcome] = {}
+    try:
+        payload = pickle.dumps(
+            _WorkerState(
+                model, detector_config, monitor_config, tuple(registry_names)
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        if use_fork:
+            # Workers fork at first submission, inheriting this snapshot.
+            _SHARD_WINDOWS = materialised
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_initialize_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [(task.label, pool.submit(_run_shard, task)) for task in tasks]
+            for label, future in futures:
+                outcomes[label] = future.result()
+    except FleetError:
+        raise
+    except Exception as exc:
+        # BrokenProcessPool, pickling failures of a result, pool start-up
+        # errors: anything that escaped the in-worker marshalling.
+        raise FleetError(f"parallel fleet execution failed: {exc}") from exc
+    finally:
+        _SHARD_WINDOWS = None
+    for label in labels:
+        outcome = outcomes[label]
+        if outcome.error is not None:
+            raise FleetError(
+                f"shard {label!r} failed in a worker process: {outcome.error}"
+            )
+    return {
+        label: MonitorResult(
+            decisions=outcomes[label].decisions,
+            report=outcomes[label].report,
+            model=model,
+            recorded_indices=outcomes[label].recorded_indices,
+            reference_window_count=0,
+            detector_stats=outcomes[label].detector_stats,
+        )
+        for label in labels
+    }

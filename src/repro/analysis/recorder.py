@@ -271,9 +271,23 @@ class SelectiveTraceRecorder:
         self._write_buffer = []
         self._buffered_chars = 0
 
+    def __getstate__(self) -> dict:
+        # Recorders hold an open file handle and mutable buffers; shipping
+        # one across a process boundary can only corrupt the output file.
+        # The parallel fleet creates recorders inside each worker instead.
+        raise RecorderError(
+            "SelectiveTraceRecorder is not picklable: recorders are "
+            "worker-local (create one per process, next to its output file)"
+        )
+
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the output file is flushed shut)."""
+        return self._closed
+
     @property
     def recorded_indices(self) -> list[int]:
         """Indices of every recorded window, in recording order."""

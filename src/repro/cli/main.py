@@ -6,7 +6,7 @@ Subcommands::
     repro-trace stats      trace.jsonl
     repro-trace learn      trace.jsonl --reference-s 300 --model model.npz
     repro-trace monitor    trace.jsonl --model model.npz --output recorded.jsonl
-    repro-trace fleet      a.jsonl b.jsonl --model model.npz --output-dir recorded/
+    repro-trace fleet      a.jsonl b.jsonl --model model.npz --output-dir recorded/ [--workers 4]
     repro-trace experiment --duration 900 [--alpha 1.2] [--report report.txt]
     repro-trace sweep      --duration 900 --alphas 1.0,1.2,1.5,2.0,3.0
 
@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--alpha", type=float, default=1.2)
     fleet.add_argument("--k", type=int, default=20)
     fleet.add_argument("--batch-size", type=int, default=64)
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the fleet (1 = serial; results are "
+        "bit-identical for any worker count)",
+    )
     fleet.add_argument(
         "--output-dir", type=Path, default=None, help="record each shard here"
     )
@@ -268,6 +275,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         window_duration_us=int(args.window_ms * 1000),
         reference_duration_us=int(args.reference_s * 1e6),
         batch_size=args.batch_size,
+        fleet_workers=args.workers,
     )
     registry = EventTypeRegistry.with_default_types()
     labels = _shard_labels(args.traces)

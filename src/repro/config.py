@@ -120,6 +120,15 @@ class MonitorConfig:
         concurrently (detector state, recorder, output file).  ``None``
         (default) opens every shard at once; a finite bound caps memory and
         file handles on very wide fleets — results are identical either way.
+        Only the serial backend schedules shards; with ``fleet_workers > 1``
+        the worker count bounds concurrency instead.
+    fleet_workers:
+        Number of worker processes the sharded fleet partitions its shards
+        across.  ``1`` (default) keeps the historical single-process
+        interleaved execution; larger values run whole shards in a
+        :class:`concurrent.futures.ProcessPoolExecutor`
+        (:mod:`repro.analysis.parallel`) for multi-core scaling, with
+        results bit-identical to the serial fleet.
     """
 
     window_duration_us: int = 40_000
@@ -129,6 +138,7 @@ class MonitorConfig:
     batch_size: int = 1
     io_buffer_bytes: int = 65_536
     max_active_shards: int | None = None
+    fleet_workers: int = 1
 
     def __post_init__(self) -> None:
         _require(self.window_duration_us > 0, "window_duration_us must be > 0")
@@ -144,6 +154,7 @@ class MonitorConfig:
             self.max_active_shards is None or self.max_active_shards >= 1,
             "max_active_shards must be None or >= 1",
         )
+        _require(self.fleet_workers >= 1, "fleet_workers must be >= 1")
 
 
 @dataclass(frozen=True)

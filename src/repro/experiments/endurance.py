@@ -193,6 +193,7 @@ def run_fleet_endurance_experiment(
     n_streams: int = 4,
     seed_stride: int = 101,
     keep_events: bool = False,
+    fleet_workers: int | None = None,
 ) -> FleetEnduranceResult:
     """Simulate ``n_streams`` endurance runs and monitor them as one fleet.
 
@@ -201,14 +202,27 @@ def run_fleet_endurance_experiment(
     0; every stream's live remainder (after its own reference prefix, which
     models the shared warm-up period) is then monitored by a per-stream
     shard over that shared model.
+
+    ``fleet_workers`` overrides ``config.monitor.fleet_workers``: with a
+    value > 1 the shards run in a worker-process pool
+    (:mod:`repro.analysis.parallel`) — results are bit-identical to the
+    serial fleet for any worker count.
     """
     if n_streams < 1:
         raise ExperimentError("n_streams must be >= 1")
     config = config or EnduranceConfig.scaled_paper_setup()
+    if fleet_workers is not None:
+        config = dataclasses.replace(
+            config,
+            monitor=dataclasses.replace(config.monitor, fleet_workers=fleet_workers),
+        )
     _LOGGER.info(
-        "running fleet endurance experiment: %d streams x %.0f s media",
+        "running fleet endurance experiment: %d streams x %.0f s media "
+        "(%d worker process%s)",
         n_streams,
         config.media.duration_s,
+        config.monitor.fleet_workers,
+        "" if config.monitor.fleet_workers == 1 else "es",
     )
     traces = []
     for position in range(n_streams):

@@ -52,6 +52,20 @@ def _encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
+def _check_core_range(core: int) -> None:
+    """Reject core indices the codec's fixed 1-byte core field cannot hold.
+
+    The core used to be silently masked with ``0xFF``, so core 300 round-
+    tripped as 44 with no error; the 1-byte accounting stays exact because
+    out-of-range cores are now rejected instead of truncated.
+    """
+    if not 0 <= core <= 0xFF:
+        raise TraceFormatError(
+            f"core index {core} does not fit the codec's 1-byte core field "
+            "(valid range 0-255)"
+        )
+
+
 def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
     """Decode a varint starting at ``offset``; return (value, new offset)."""
     result = 0
@@ -97,6 +111,7 @@ class BinaryTraceCodec:
                 "events must be encoded in timestamp order "
                 f"({event.timestamp_us} after {previous_timestamp_us})"
             )
+        _check_core_range(event.core)
         code = self.registry.register(event.etype)
         task_bytes = event.task.encode("utf-8")
         payload_bytes = (
@@ -107,7 +122,7 @@ class BinaryTraceCodec:
         parts = [
             _encode_varint(delta),
             _encode_varint(code),
-            struct.pack("B", event.core & 0xFF),
+            struct.pack("B", event.core),
             _encode_varint(len(task_bytes)),
             task_bytes,
             _encode_varint(len(payload_bytes)),
@@ -276,6 +291,7 @@ def encoded_trace_size(events: Iterable[TraceEvent]) -> int:
                 f"({event.timestamp_us} after {previous})"
             )
         previous = event.timestamp_us
+        _check_core_range(event.core)
         code = codes.setdefault(event.etype, len(codes))
         task = event.task
         task_size = task_sizes.get(task)

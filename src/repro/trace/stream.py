@@ -115,22 +115,38 @@ def windows_by_count(
     index = 0
     pending: list[TraceEvent] = []
     previous: int | None = None
-    window_start = start_us
+    # Start of the window being filled; ``None`` after a boundary, meaning
+    # "derive it from boundary_ts and this window's first event".
+    window_start: int | None = start_us
+    boundary_ts = start_us
+
+    def _window_start() -> int:
+        if window_start is not None:
+            return window_start
+        # The stream may contain further events carrying the boundary
+        # timestamp (hardware buffers flush several events with one clock
+        # value); they must fall inside this window's half-open extent, so
+        # only then does the window start *at* the boundary timestamp.
+        # Otherwise the historical contiguous extent — one past the previous
+        # window's last event — is preserved.
+        if pending[0].timestamp_us == boundary_ts:
+            return boundary_ts
+        return boundary_ts + 1
 
     for event in events:
         previous = _check_monotonic(previous, event)
         pending.append(event)
         if len(pending) == events_per_window:
-            yield TraceWindow(
-                index, window_start, pending[-1].timestamp_us + 1, tuple(pending)
-            )
+            last_ts = pending[-1].timestamp_us
+            yield TraceWindow(index, _window_start(), last_ts + 1, tuple(pending))
             index += 1
-            window_start = pending[-1].timestamp_us + 1
+            window_start = None
+            boundary_ts = last_ts
             pending = []
 
     if pending:
         yield TraceWindow(
-            index, window_start, pending[-1].timestamp_us + 1, tuple(pending)
+            index, _window_start(), pending[-1].timestamp_us + 1, tuple(pending)
         )
 
 

@@ -168,9 +168,12 @@ class TraceWindow:
         for window in windows:
             events.extend(window.events)
         events.sort(key=lambda event: event.timestamp_us)
+        # The merged extent must cover every input window.  Sorting by start
+        # does not sort by end — a window nested inside another ends first —
+        # so the last window's end is not necessarily the overall end.
         return TraceWindow(
             index=index,
             start_us=windows[0].start_us,
-            end_us=windows[-1].end_us,
+            end_us=max(window.end_us for window in windows),
             events=tuple(events),
         )

@@ -55,6 +55,37 @@ class TestBinaryCodec:
         with pytest.raises(TraceFormatError):
             BinaryTraceCodec().decode(b"NOPE" + b"\x00" * 16)
 
+    def test_core_out_of_range_rejected_on_encode(self):
+        # Regression: core used to be masked with 0xFF, so core 300 silently
+        # round-tripped as 44.  Out-of-range cores must raise instead.
+        event = TraceEvent(0, "timer_tick", core=300)
+        codec = BinaryTraceCodec()
+        with pytest.raises(TraceFormatError):
+            codec.encode_event(event)
+        with pytest.raises(TraceFormatError):
+            codec.encode([event])
+        with pytest.raises(TraceFormatError):
+            codec.event_size(event)
+        with pytest.raises(TraceFormatError):
+            encoded_trace_size([event])
+
+    def test_core_boundaries_roundtrip_exactly(self):
+        events = [
+            TraceEvent(0, "timer_tick", core=0),
+            TraceEvent(1, "timer_tick", core=255),
+        ]
+        codec = BinaryTraceCodec()
+        assert BinaryTraceCodec().decode(codec.encode(events)) == events
+        # encode / event_size / encoded_trace_size must agree on the 1-byte
+        # core accounting for the full valid range.
+        sizing_codec = BinaryTraceCodec()
+        previous = 0
+        total = 0
+        for event in events:
+            total += sizing_codec.event_size(event, previous)
+            previous = event.timestamp_us
+        assert encoded_trace_size(events) == total
+
     def test_truncated_header_rejected(self):
         blob = BinaryTraceCodec().encode(_sample_events())
         with pytest.raises(TraceFormatError):

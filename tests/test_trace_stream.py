@@ -69,6 +69,48 @@ class TestWindowsByCount:
         with pytest.raises(TraceStreamError):
             list(windows_by_count(_events([0]), 0))
 
+    def test_duplicate_timestamp_at_window_boundary(self):
+        # Regression: the next window used to start at last_ts + 1, so an
+        # event sharing the boundary timestamp fell *before* the window start
+        # and TraceWindow validation raised TraceFormatError.
+        windows = list(windows_by_count(_events([0, 5, 10, 10, 10, 12]), 3))
+        assert [len(w) for w in windows] == [3, 3]
+        assert windows[0].end_us == 11
+        assert windows[1].start_us == 10  # boundary timestamp stays inside
+        assert [e.timestamp_us for e in windows[1].events] == [10, 10, 12]
+
+    def test_strictly_increasing_streams_keep_contiguous_extents(self):
+        # The duplicate-timestamp fix must not disturb ordinary streams:
+        # without an equal-timestamp carry-over, consecutive windows stay
+        # contiguous ([s, last+1) then [last+1, ...)), exactly as before.
+        windows = list(windows_by_count(_events(range(0, 90, 10)), 3))
+        assert [(w.start_us, w.end_us) for w in windows] == [
+            (0, 21),
+            (21, 51),
+            (51, 81),
+        ]
+
+    def test_all_events_identical_timestamp(self):
+        windows = list(windows_by_count(_events([7] * 10), 4))
+        assert [len(w) for w in windows] == [4, 4, 2]
+        assert all(w.start_us <= 7 < w.end_us for w in windows)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        timestamps=st.lists(
+            st.integers(min_value=0, max_value=40), min_size=1, max_size=120
+        ),
+        per_window=st.integers(min_value=1, max_value=20),
+    )
+    def test_duplicate_heavy_streams_never_crash_property(
+        self, timestamps, per_window
+    ):
+        events = _events(sorted(timestamps))
+        windows = list(windows_by_count(events, per_window))
+        assert sum(len(w) for w in windows) == len(events)
+        flattened = [e for w in windows for e in w.events]
+        assert flattened == events
+
     @settings(max_examples=50, deadline=None)
     @given(
         n_events=st.integers(min_value=1, max_value=200),

@@ -98,3 +98,20 @@ class TestSliceAndConcatenate:
     def test_concatenate_empty_rejected(self):
         with pytest.raises(TraceFormatError):
             TraceWindow.concatenate([])
+
+    def test_concatenate_nested_window_keeps_full_extent(self):
+        # Regression: the merged end used to be the *last-by-start* window's
+        # end, so concatenating [0, 100) with a nested [10, 50) yielded the
+        # extent [0, 50) and raised a spurious TraceFormatError whenever the
+        # outer window held an event past 50.
+        outer = TraceWindow.from_events(_events(0, 80), start_us=0, end_us=100)
+        nested = TraceWindow.from_events(_events(20, 30), start_us=10, end_us=50)
+        merged = TraceWindow.concatenate([outer, nested])
+        assert merged.start_us == 0 and merged.end_us == 100
+        assert [e.timestamp_us for e in merged.events] == [0, 20, 30, 80]
+
+    def test_concatenate_event_free_extent_uses_max_end(self):
+        first = TraceWindow(index=0, start_us=0, end_us=90)
+        second = TraceWindow(index=1, start_us=10, end_us=40)
+        merged = TraceWindow.concatenate([second, first])
+        assert merged.start_us == 0 and merged.end_us == 90
