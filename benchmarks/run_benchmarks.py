@@ -2,10 +2,10 @@
 """Run the benchmark suite and archive the pytest-benchmark statistics.
 
 The default invocation runs the throughput benchmarks (per-window loop,
-batched scoring plane and the sharded multi-stream fleet) and writes their
-pytest-benchmark statistics to ``BENCH_throughput.json`` at the repository
-root, so successive PRs leave a machine-readable performance trajectory
-behind::
+batched scoring plane, the sharded multi-stream fleet and the columnar
+file-to-scores ingest plane) and writes their pytest-benchmark statistics
+to ``BENCH_throughput.json`` at the repository root, so successive PRs
+leave a machine-readable performance trajectory behind::
 
     python benchmarks/run_benchmarks.py                 # throughput only
     python benchmarks/run_benchmarks.py --all           # every benchmark
@@ -28,6 +28,7 @@ THROUGHPUT_BENCHMARKS = [
     "benchmarks/test_bench_throughput.py",
     "benchmarks/test_bench_throughput_batched.py",
     "benchmarks/test_bench_fleet.py",
+    "benchmarks/test_bench_ingest.py",
 ]
 
 

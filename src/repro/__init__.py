@@ -20,6 +20,16 @@ The library has three layers:
   :meth:`~repro.analysis.detector.OnlineAnomalyDetector.process_batch`
   applies the KL gate and batched LOF with decisions identical to the
   per-window path (``MonitorConfig(batch_size=...)`` enables it end-to-end).
+* **Columnar ingest plane** — the scoring plane's mirror on the input side:
+  :class:`~repro.trace.columns.TraceColumns` holds a whole trace as flat
+  arrays (vectorized ``decode_columns`` on both codecs), array-native
+  windowing cuts it with ``searchsorted``/strided offsets straight into
+  lazy :class:`~repro.trace.batch.WindowBatch` micro-batches
+  (:func:`~repro.trace.reader.read_trace_columns`,
+  :func:`~repro.trace.reader.iter_window_batches`), and a bounded
+  producer/consumer hand-off overlaps decode with scoring
+  (:meth:`~repro.analysis.monitor.TraceMonitor.run_on_file`) — results are
+  bit-identical to the object path.
 * **Experiments** — :mod:`repro.experiments`: the endurance experiment of
   the paper's Section III, parameter sweeps and plain-text reports; the
   benchmarks under ``benchmarks/`` drive these to regenerate the paper's
@@ -60,14 +70,18 @@ from .config import (
     save_config,
 )
 from .trace import (
+    ColumnarWindowSource,
     EventType,
     EventTypeRegistry,
+    TraceColumns,
     TraceEvent,
     TraceStream,
     TraceWindow,
     WindowBatch,
     batch_windows,
+    iter_window_batches,
     read_trace,
+    read_trace_columns,
     write_trace,
 )
 from .analysis import (
@@ -124,9 +138,13 @@ __all__ = [
     "TraceEvent",
     "TraceWindow",
     "TraceStream",
+    "TraceColumns",
+    "ColumnarWindowSource",
     "WindowBatch",
     "batch_windows",
     "read_trace",
+    "read_trace_columns",
+    "iter_window_batches",
     "write_trace",
     # analysis
     "Pmf",

@@ -51,9 +51,10 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import FleetError, ModelError
 from ..logging_util import get_logger
-from ..trace.batch import WindowBatch, batch_windows
+from ..trace.batch import WindowBatch
+from ..trace.columns import TraceColumns
 from ..trace.event import EventTypeRegistry
-from ..trace.stream import TraceStream
+from ..trace.stream import ColumnarWindowSource, TraceStream
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
@@ -62,6 +63,8 @@ from .monitor import (
     build_shard_pipeline,
     detector_stats_snapshot,
     score_and_record_batch,
+    shard_batches,
+    shard_output_path,
 )
 from .parallel import monitor_shards_parallel
 from .recorder import RecorderReport, SelectiveTraceRecorder
@@ -258,20 +261,46 @@ class ShardedTraceMonitor:
             shards, model, output_dir=output_dir, keep_events=keep_events
         )
 
-    def monitor_shards(
+    def run_on_columns(
         self,
-        shards: Mapping[str, Iterable[TraceWindow]],
+        columns: Mapping[str, TraceColumns] | Sequence[TraceColumns],
         model: ReferenceModel,
         output_dir: str | Path | None = None,
         keep_events: bool = False,
     ) -> FleetResult:
-        """Monitor already-windowed shard streams against a fitted model.
+        """Monitor several columnar traces as one fleet.
 
-        When ``output_dir`` is given each shard records its anomalous
-        windows to ``<output_dir>/<label>.jsonl``.  With
-        ``MonitorConfig.fleet_workers > 1`` the shards are partitioned
-        across a process pool instead of being interleaved serially; the
-        merged result is bit-identical either way.
+        The columnar mirror of :meth:`run_on_streams`: every shard's windows
+        are cut array-natively with the configured ``window_duration_us``
+        and scored through lazy :class:`~repro.trace.batch.WindowBatch`
+        micro-batches.  With ``fleet_workers > 1`` the workers receive the
+        flat column arrays — far cheaper to pickle than event lists on
+        spawn-only platforms.  Results are bit-identical to the object path.
+        """
+        labelled = self._label_streams(columns)
+        return self.monitor_shards(
+            labelled, model, output_dir=output_dir, keep_events=keep_events
+        )
+
+    def monitor_shards(
+        self,
+        shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource]",
+        model: ReferenceModel,
+        output_dir: str | Path | None = None,
+        keep_events: bool = False,
+    ) -> FleetResult:
+        """Monitor shard streams (windowed or columnar) against a fitted model.
+
+        Shard values may be window iterables (the historical form), raw
+        :class:`~repro.trace.columns.TraceColumns` (cut into duration
+        windows with the configured ``window_duration_us``), or
+        :class:`~repro.trace.stream.ColumnarWindowSource` objects carrying
+        their own windowing recipe.  When ``output_dir`` is given each
+        shard records its anomalous windows to
+        ``<output_dir>/<label>.jsonl`` (``.bin`` with the binary recording
+        format).  With ``MonitorConfig.fleet_workers > 1`` the shards are
+        partitioned across a process pool instead of being interleaved
+        serially; the merged result is bit-identical either way.
         """
         if not model.is_fitted:
             raise ModelError("the shared reference model must be fitted")
@@ -359,14 +388,16 @@ class ShardedTraceMonitor:
     def _activate(
         self,
         label: str,
-        windows: Iterable[TraceWindow],
+        windows: "Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource",
         model: ReferenceModel,
         output_dir: str | Path | None,
         keep_events: bool,
     ) -> _Shard:
         config = self.monitor_config
         output_path = (
-            Path(output_dir) / f"{label}.jsonl" if output_dir is not None else None
+            shard_output_path(output_dir, label, config)
+            if output_dir is not None
+            else None
         )
         shard_registry, detector, recorder = build_shard_pipeline(
             model,
@@ -376,9 +407,7 @@ class ShardedTraceMonitor:
             output_path=output_path,
             keep_events=keep_events,
         )
-        batches = batch_windows(
-            iter(windows), shard_registry, max(config.batch_size, 1)
-        )
+        batches = iter(shard_batches(windows, shard_registry, config))
         return _Shard(label, shard_registry, detector, recorder, batches)
 
     @staticmethod

@@ -16,13 +16,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+import numpy as np
+
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import ModelError
 from ..logging_util import get_logger
-from ..trace.batch import batch_windows
-from ..trace.codec import encoded_trace_size, encoded_window_sizes
+from ..trace.batch import WindowBatch, batch_windows
+from ..trace.codec import encoded_trace_size
+from ..trace.columns import TraceColumns
 from ..trace.event import EventTypeRegistry, TraceEvent
-from ..trace.stream import TraceStream
+from ..trace.pipeline import prefetch_batches as _prefetch_batches
+from ..trace.stream import (
+    ColumnarWindowSource,
+    TraceStream,
+    batches_from_layout,
+    column_windows_by_duration,
+    materialize_layout_windows,
+)
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
@@ -33,6 +43,8 @@ __all__ = [
     "TraceMonitor",
     "build_shard_pipeline",
     "detector_stats_snapshot",
+    "shard_batches",
+    "shard_output_path",
 ]
 
 _LOGGER = get_logger("analysis.monitor")
@@ -61,8 +73,48 @@ def build_shard_pipeline(
         output_path=output_path,
         keep_events=keep_events,
         io_buffer_bytes=monitor_config.io_buffer_bytes,
+        recording_format=monitor_config.recording_format,
     )
     return registry, detector, recorder
+
+
+def shard_output_path(
+    output_dir: str | Path, label: str, monitor_config: MonitorConfig
+) -> Path:
+    """Output file of one fleet shard (suffix follows the recording format).
+
+    Single definition shared by the serial and process-parallel fleet
+    backends so their on-disk layouts cannot drift apart.
+    """
+    suffix = ".bin" if monitor_config.recording_format == "binary" else ".jsonl"
+    return Path(output_dir) / f"{label}{suffix}"
+
+
+def shard_batches(
+    source,
+    registry: EventTypeRegistry,
+    monitor_config: MonitorConfig,
+) -> "Iterable[WindowBatch]":
+    """Window-batch iterator for one fleet shard, object or columnar.
+
+    Accepts what the fleet accepts as a shard value — an iterable of
+    :class:`~repro.trace.window.TraceWindow`, a raw
+    :class:`~repro.trace.columns.TraceColumns` (cut into duration windows
+    with the configured ``window_duration_us``), or a fully parameterised
+    :class:`~repro.trace.stream.ColumnarWindowSource`.  Single definition
+    shared by the serial fleet and the process-parallel workers, so both
+    backends batch identically.
+    """
+    batch_size = max(monitor_config.batch_size, 1)
+    if isinstance(source, TraceColumns):
+        source = ColumnarWindowSource(source)
+    if isinstance(source, ColumnarWindowSource):
+        return source.batches(
+            registry,
+            batch_size,
+            default_window_duration_us=monitor_config.window_duration_us,
+        )
+    return batch_windows(iter(source), registry, batch_size)
 
 
 def detector_stats_snapshot(detector: OnlineAnomalyDetector) -> dict[str, float]:
@@ -83,7 +135,7 @@ def detector_stats_snapshot(detector: OnlineAnomalyDetector) -> dict[str, float]
 def score_and_record_batch(
     detector: OnlineAnomalyDetector,
     recorder: SelectiveTraceRecorder,
-    batch,
+    batch: WindowBatch,
 ) -> list[WindowDecision]:
     """Score one columnar batch, record it, return the stamped decisions.
 
@@ -91,16 +143,21 @@ def score_and_record_batch(
     step: both :meth:`TraceMonitor.monitor_windows` and the sharded fleet
     (:mod:`repro.analysis.fleet`) call it, so their per-window decisions and
     byte accounting cannot drift apart.
+
+    Byte sizes come from :meth:`~repro.trace.batch.WindowBatch.window_sizes`
+    (precomputed vectorized accounting on columnar batches, a codec pass on
+    object-built ones — bit-identical either way) and the recorder receives
+    :meth:`~repro.trace.batch.WindowBatch.window_refs`, so columnar batches
+    materialise event objects only for the windows actually written.
     """
     batch_decisions = detector.process_batch(batch)
-    source_windows = batch.to_windows()
-    sizes = encoded_window_sizes(source_windows)
+    sizes = batch.window_sizes()
     stamped = [
         dataclasses.replace(decision, window_bytes=size)
         for decision, size in zip(batch_decisions, sizes)
     ]
     recorder.observe_batch(
-        source_windows,
+        batch.window_refs(),
         [decision.anomalous for decision in stamped],
         window_bytes=sizes,
     )
@@ -190,6 +247,17 @@ class TraceMonitor:
     # ------------------------------------------------------------------ #
     # Monitoring
     # ------------------------------------------------------------------ #
+    def _make_recorder(
+        self, output_path: str | Path | None, keep_events: bool
+    ) -> SelectiveTraceRecorder:
+        return SelectiveTraceRecorder(
+            context_windows=self.monitor_config.record_context_windows,
+            output_path=output_path,
+            keep_events=keep_events,
+            io_buffer_bytes=self.monitor_config.io_buffer_bytes,
+            recording_format=self.monitor_config.recording_format,
+        )
+
     def monitor_windows(
         self,
         windows: Iterable[TraceWindow],
@@ -199,14 +267,20 @@ class TraceMonitor:
         reference_window_count: int = 0,
     ) -> MonitorResult:
         """Monitor an already-windowed stream against a learned model."""
-        detector = OnlineAnomalyDetector(model, self.detector_config, self.registry)
-        recorder = SelectiveTraceRecorder(
-            context_windows=self.monitor_config.record_context_windows,
-            output_path=output_path,
-            keep_events=keep_events,
-            io_buffer_bytes=self.monitor_config.io_buffer_bytes,
-        )
         batch_size = self.monitor_config.batch_size
+        if batch_size > 1:
+            # Vectorized plane: score a columnar micro-batch at a time, then
+            # hand the whole batch to the recorder so the codec and file
+            # writes are amortised across windows.
+            return self.monitor_batches(
+                batch_windows(windows, self.registry, batch_size),
+                model,
+                output_path=output_path,
+                keep_events=keep_events,
+                reference_window_count=reference_window_count,
+            )
+        detector = OnlineAnomalyDetector(model, self.detector_config, self.registry)
+        recorder = self._make_recorder(output_path, keep_events)
         decisions: list[WindowDecision] = []
 
         def record(window: TraceWindow, decision: WindowDecision) -> None:
@@ -218,20 +292,52 @@ class TraceMonitor:
             )
 
         try:
-            if batch_size > 1:
-                # Vectorized plane: score a columnar micro-batch at a time,
-                # then hand the whole batch to the recorder so the codec and
-                # file writes are amortised across windows.
-                for batch in batch_windows(windows, self.registry, batch_size):
-                    decisions.extend(
-                        score_and_record_batch(detector, recorder, batch)
-                    )
-            else:
-                for window in windows:
-                    record(window, detector.process(window))
+            for window in windows:
+                record(window, detector.process(window))
         finally:
             recorder.close()
+        return self._finish(
+            decisions, recorder, detector, model, reference_window_count
+        )
 
+    def monitor_batches(
+        self,
+        batches: Iterable[WindowBatch],
+        model: ReferenceModel,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        reference_window_count: int = 0,
+    ) -> MonitorResult:
+        """Monitor pre-built window batches against a learned model.
+
+        The batch-iterable entry point of the monitor: accepts either
+        object-built batches (:func:`~repro.trace.batch.batch_windows`) or
+        the lazy batches of the columnar ingest plane
+        (:func:`~repro.trace.stream.iter_column_batches`,
+        :func:`~repro.trace.reader.iter_window_batches`) and produces
+        results bit-identical to :meth:`monitor_windows` over the same
+        windows.
+        """
+        detector = OnlineAnomalyDetector(model, self.detector_config, self.registry)
+        recorder = self._make_recorder(output_path, keep_events)
+        decisions: list[WindowDecision] = []
+        try:
+            for batch in batches:
+                decisions.extend(score_and_record_batch(detector, recorder, batch))
+        finally:
+            recorder.close()
+        return self._finish(
+            decisions, recorder, detector, model, reference_window_count
+        )
+
+    def _finish(
+        self,
+        decisions: list[WindowDecision],
+        recorder: SelectiveTraceRecorder,
+        detector: OnlineAnomalyDetector,
+        model: ReferenceModel,
+        reference_window_count: int,
+    ) -> MonitorResult:
         result = MonitorResult(
             decisions=decisions,
             report=recorder.report(),
@@ -293,4 +399,82 @@ class TraceMonitor:
         """Convenience wrapper for plain event iterables."""
         return self.run_on_stream(
             TraceStream(events), model=model, output_path=output_path, keep_events=keep_events
+        )
+
+    def run_on_columns(
+        self,
+        columns: TraceColumns,
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        prefetch_batches: int = 0,
+    ) -> MonitorResult:
+        """Learn (if needed) and monitor a columnar trace.
+
+        The columnar mirror of :meth:`run_on_stream`: windows are cut
+        array-natively, batches carry lazy windows and precomputed byte
+        sizes, and — when ``model`` is ``None`` — the reference prefix is
+        the only part of the trace materialised as window objects (the
+        learning step needs them).  Results are bit-identical to the object
+        path over the same trace.
+
+        ``prefetch_batches > 0`` overlaps batch construction with scoring
+        through a bounded producer/consumer hand-off
+        (:func:`~repro.trace.pipeline.prefetch_batches`); decisions and
+        recordings are unaffected.
+        """
+        layout = column_windows_by_duration(
+            columns, self.monitor_config.window_duration_us
+        )
+        first_live = 0
+        reference_count = 0
+        if model is None:
+            boundary = self.monitor_config.reference_duration_us
+            first_live = int(np.searchsorted(layout.end_us, boundary, side="right"))
+            reference_windows = materialize_layout_windows(
+                columns, layout, 0, first_live
+            )
+            model = self.learn_reference(reference_windows)
+            reference_count = first_live
+        elif not model.is_fitted:
+            raise ModelError("provided reference model is not fitted")
+        batches = batches_from_layout(
+            columns,
+            layout,
+            self.registry,
+            batch_size=max(self.monitor_config.batch_size, 1),
+            first_window=first_live,
+        )
+        if prefetch_batches > 0:
+            batches = _prefetch_batches(batches, prefetch_batches)
+        return self.monitor_batches(
+            batches,
+            model,
+            output_path=output_path,
+            keep_events=keep_events,
+            reference_window_count=reference_count,
+        )
+
+    def run_on_file(
+        self,
+        path: str | Path,
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        prefetch_batches: int = 0,
+    ) -> MonitorResult:
+        """Columnar file-to-scores path: decode, window, batch, monitor.
+
+        Reads ``path`` with :func:`~repro.trace.reader.read_trace_columns`
+        and monitors it via :meth:`run_on_columns` — the default CLI route
+        for file-fed monitoring.
+        """
+        from ..trace.reader import read_trace_columns
+
+        return self.run_on_columns(
+            read_trace_columns(path),
+            model=model,
+            output_path=output_path,
+            keep_events=keep_events,
+            prefetch_batches=prefetch_batches,
         )

@@ -62,7 +62,8 @@ from typing import Iterable, Mapping, Sequence
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import FleetError
 from ..logging_util import get_logger
-from ..trace.batch import batch_windows
+from ..trace.columns import TraceColumns
+from ..trace.stream import ColumnarWindowSource
 from ..trace.window import TraceWindow
 from .detector import WindowDecision
 from .model import ReferenceModel
@@ -71,6 +72,8 @@ from .monitor import (
     build_shard_pipeline,
     detector_stats_snapshot,
     score_and_record_batch,
+    shard_batches,
+    shard_output_path,
 )
 from .recorder import RecorderReport
 
@@ -93,12 +96,18 @@ class _WorkerState:
 class _ShardTask:
     """One shard's work order (everything here must pickle cheaply).
 
-    ``windows`` is ``None`` when the shard's windows travel via fork
+    ``windows`` is ``None`` when the shard's window source travels via fork
     inheritance (:data:`_SHARD_WINDOWS`) instead of the pickle queue.
+    Columnar sources (:class:`~repro.trace.columns.TraceColumns` /
+    :class:`~repro.trace.stream.ColumnarWindowSource`) are flat arrays plus
+    one raw buffer, cheap enough to pickle that spawn-only platforms lose
+    little to the queue.
     """
 
     label: str
-    windows: tuple[TraceWindow, ...] | None
+    windows: (
+        tuple[TraceWindow, ...] | TraceColumns | ColumnarWindowSource | None
+    )
     output_path: Path | None
     keep_events: bool
 
@@ -124,11 +133,13 @@ class _ShardOutcome:
 _WORKER_STATE: _WorkerState | None = None
 
 #: Fork-inheritance staging area: the parent parks every shard's
-#: materialised windows here immediately before creating a fork-context
-#: pool, so the (forked) workers read them from inherited copy-on-write
-#: memory instead of the pickle queue.  Always reset to ``None`` in the
-#: parent once the pool is done.
-_SHARD_WINDOWS: dict[str, tuple[TraceWindow, ...]] | None = None
+#: materialised window source (window tuple or columnar source) here
+#: immediately before creating a fork-context pool, so the (forked) workers
+#: read them from inherited copy-on-write memory instead of the pickle
+#: queue.  Always reset to ``None`` in the parent once the pool is done.
+_SHARD_WINDOWS: (
+    dict[str, tuple[TraceWindow, ...] | TraceColumns | ColumnarWindowSource] | None
+) = None
 
 
 def fork_transport_available() -> bool:
@@ -191,9 +202,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         )
         decisions: list[WindowDecision] = []
         try:
-            for batch in batch_windows(
-                iter(windows), registry, max(config.batch_size, 1)
-            ):
+            for batch in shard_batches(windows, registry, config):
                 decisions.extend(score_and_record_batch(detector, recorder, batch))
         finally:
             recorder.close()
@@ -212,7 +221,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
 
 
 def monitor_shards_parallel(
-    shards: Mapping[str, Iterable[TraceWindow]],
+    shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource]",
     model: ReferenceModel,
     detector_config: DetectorConfig,
     monitor_config: MonitorConfig,
@@ -230,11 +239,20 @@ def monitor_shards_parallel(
     global _SHARD_WINDOWS
     labels = list(shards)
     use_fork = fork_transport_available()
-    materialised = {label: tuple(windows) for label, windows in shards.items()}
+    materialised = {
+        label: (
+            source
+            if isinstance(source, (TraceColumns, ColumnarWindowSource))
+            else tuple(source)
+        )
+        for label, source in shards.items()
+    }
     tasks = []
     for label in labels:
         output_path = (
-            Path(output_dir) / f"{label}.jsonl" if output_dir is not None else None
+            shard_output_path(output_dir, label, monitor_config)
+            if output_dir is not None
+            else None
         )
         tasks.append(
             _ShardTask(

@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Deque, Iterable, Sequence
 
 from ..errors import RecorderError
-from ..trace.codec import JsonTraceCodec, encoded_trace_size
+from ..trace.codec import BinaryTraceCodec, JsonTraceCodec, encoded_trace_size
 from ..trace.window import TraceWindow
 
 __all__ = [
@@ -126,6 +126,14 @@ class SelectiveTraceRecorder:
         Size of the write buffer; encoded windows are accumulated until the
         buffer holds at least this many bytes, then written in one call.
         ``0`` disables buffering (one write per recorded window).
+    recording_format:
+        ``"jsonl"`` (default) writes human-readable JSON lines;
+        ``"binary"`` writes one self-describing
+        :class:`~repro.trace.codec.BinaryTraceCodec` segment per recorded
+        window — the segment *body* bytes equal the accounted
+        ``window_bytes`` (fresh registry, deltas restarting per window),
+        and the whole file round-trips through
+        :func:`~repro.trace.reader.read_trace`.
     """
 
     def __init__(
@@ -134,20 +142,30 @@ class SelectiveTraceRecorder:
         output_path: str | Path | None = None,
         keep_events: bool = False,
         io_buffer_bytes: int = DEFAULT_IO_BUFFER_BYTES,
+        recording_format: str = "jsonl",
     ) -> None:
         if context_windows < 0:
             raise RecorderError("context_windows must be >= 0")
         if io_buffer_bytes < 0:
             raise RecorderError("io_buffer_bytes must be >= 0")
+        if recording_format not in {"jsonl", "binary"}:
+            raise RecorderError(
+                f"unknown recording_format: {recording_format!r} "
+                "(expected 'jsonl' or 'binary')"
+            )
         self.context_windows = int(context_windows)
         self.keep_events = bool(keep_events)
         self.io_buffer_bytes = int(io_buffer_bytes)
+        self.recording_format = recording_format
         self.output_path = Path(output_path) if output_path is not None else None
         self._codec = JsonTraceCodec()
         self._handle = None
         if self.output_path is not None:
             self.output_path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.output_path.open("w", encoding="utf-8")
+            if recording_format == "binary":
+                self._handle = self.output_path.open("wb")
+            else:
+                self._handle = self.output_path.open("w", encoding="utf-8")
 
         # Pre-context windows are buffered together with their encoded size,
         # so flushing them on an anomaly never re-encodes a window whose
@@ -250,13 +268,30 @@ class SelectiveTraceRecorder:
         return wrote
 
     def _write(self, window: TraceWindow, window_bytes: int) -> None:
+        # The batched ingest plane hands over lazy window references; the
+        # events are materialised here, i.e. only for windows actually
+        # written (or kept) — accounting-only windows stay columnar.
+        resolve = getattr(window, "resolve", None)
+        if resolve is not None:
+            window = resolve()
         self._recorded_indices.append(window.index)
         self._recorded_events += len(window)
         self._recorded_bytes += window_bytes
         if self.keep_events:
             self._recorded_windows.append(window)
         if self._handle is not None:
-            block = self._codec.encode_events(window.events)
+            if self.recording_format == "binary":
+                # One self-describing segment per window: fresh registry,
+                # deltas restarting at the window — the body bytes equal the
+                # accounted window_bytes by construction.  Empty windows
+                # write nothing, mirroring the JSON empty-block skip.
+                block = (
+                    BinaryTraceCodec().encode(window.events)
+                    if window.events
+                    else b""
+                )
+            else:
+                block = self._codec.encode_events(window.events)
             if block:
                 self._write_buffer.append(block)
                 self._buffered_chars += len(block)
@@ -266,7 +301,8 @@ class SelectiveTraceRecorder:
     def flush(self) -> None:
         """Write the buffered encoded windows to the output file."""
         if self._handle is not None and self._write_buffer:
-            self._handle.write("".join(self._write_buffer))
+            joiner = b"" if self.recording_format == "binary" else ""
+            self._handle.write(joiner.join(self._write_buffer))
             self._n_io_writes += 1
         self._write_buffer = []
         self._buffered_chars = 0
@@ -338,9 +374,12 @@ class FullTraceRecorder:
         self,
         output_path: str | Path | None = None,
         io_buffer_bytes: int = DEFAULT_IO_BUFFER_BYTES,
+        recording_format: str = "jsonl",
     ) -> None:
         self._inner = SelectiveTraceRecorder(
-            output_path=output_path, io_buffer_bytes=io_buffer_bytes
+            output_path=output_path,
+            io_buffer_bytes=io_buffer_bytes,
+            recording_format=recording_format,
         )
 
     def observe(self, window: TraceWindow) -> bool:

@@ -114,6 +114,13 @@ class MonitorConfig:
         encoded into memory and flushed to the output file in chunks of at
         least this many bytes.  ``0`` disables buffering (one write per
         recorded window, the historical behaviour).
+    recording_format:
+        On-disk format of recorded windows.  ``"jsonl"`` (default) keeps the
+        historical human-readable JSON-lines output; ``"binary"`` routes the
+        recorders through :class:`~repro.trace.codec.BinaryTraceCodec`, one
+        self-describing segment per recorded window, so the persisted body
+        bytes match the accounted ``window_bytes`` exactly and the file
+        round-trips through :func:`~repro.trace.reader.read_trace`.
     max_active_shards:
         Upper bound on the number of stream shards a
         :class:`~repro.analysis.fleet.ShardedTraceMonitor` keeps open
@@ -137,6 +144,7 @@ class MonitorConfig:
     record_context_windows: int = 0
     batch_size: int = 1
     io_buffer_bytes: int = 65_536
+    recording_format: str = "jsonl"
     max_active_shards: int | None = None
     fleet_workers: int = 1
 
@@ -150,6 +158,10 @@ class MonitorConfig:
         _require(self.record_context_windows >= 0, "record_context_windows must be >= 0")
         _require(self.batch_size >= 1, "batch_size must be >= 1")
         _require(self.io_buffer_bytes >= 0, "io_buffer_bytes must be >= 0")
+        _require(
+            self.recording_format in {"jsonl", "binary"},
+            "recording_format must be 'jsonl' or 'binary'",
+        )
         _require(
             self.max_active_shards is None or self.max_active_shards >= 1,
             "max_active_shards must be None or >= 1",

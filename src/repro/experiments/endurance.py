@@ -23,6 +23,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from ..analysis.detector import WindowDecision
 from ..analysis.fleet import FleetResult, ShardedTraceMonitor
 from ..analysis.labeling import GroundTruth, label_windows
@@ -32,7 +34,13 @@ from ..config import DetectorConfig, EnduranceConfig, MonitorConfig
 from ..errors import ExperimentError
 from ..logging_util import get_logger
 from ..media.app import EnduranceRun, EnduranceTrace
+from ..trace.columns import TraceColumns
 from ..trace.event import EventTypeRegistry
+from ..trace.stream import (
+    ColumnarWindowSource,
+    column_windows_by_duration,
+    materialize_layout_windows,
+)
 
 __all__ = [
     "EnduranceExperimentResult",
@@ -194,6 +202,7 @@ def run_fleet_endurance_experiment(
     seed_stride: int = 101,
     keep_events: bool = False,
     fleet_workers: int | None = None,
+    ingest: str = "objects",
 ) -> FleetEnduranceResult:
     """Simulate ``n_streams`` endurance runs and monitor them as one fleet.
 
@@ -207,9 +216,20 @@ def run_fleet_endurance_experiment(
     value > 1 the shards run in a worker-process pool
     (:mod:`repro.analysis.parallel`) — results are bit-identical to the
     serial fleet for any worker count.
+
+    ``ingest`` selects the shard hand-off: ``"objects"`` (default) feeds
+    per-window object iterators, ``"columnar"`` converts each simulated
+    trace to :class:`~repro.trace.columns.TraceColumns` and drives the
+    array-native ingest plane (windows cut by ``searchsorted``, lazy
+    materialisation, flat-array worker hand-off).  Results are
+    bit-identical either way.
     """
     if n_streams < 1:
         raise ExperimentError("n_streams must be >= 1")
+    if ingest not in {"objects", "columnar"}:
+        raise ExperimentError(
+            f"unknown ingest mode: {ingest!r} (expected 'objects' or 'columnar')"
+        )
     config = config or EnduranceConfig.scaled_paper_setup()
     if fleet_workers is not None:
         config = dataclasses.replace(
@@ -238,14 +258,30 @@ def run_fleet_endurance_experiment(
     monitor = TraceMonitor(config.detector, config.monitor, registry)
     shards = {}
     reference_windows = None
-    for position, trace in enumerate(traces):
-        reference, live = trace.stream().split_reference(
-            config.monitor.reference_duration_us,
-            window_duration_us=config.monitor.window_duration_us,
-        )
-        if position == 0:
-            reference_windows = reference
-        shards[f"stream-{position:02d}"] = live
+    if ingest == "columnar":
+        boundary = config.monitor.reference_duration_us
+        for position, trace in enumerate(traces):
+            columns = TraceColumns.from_events(trace.events)
+            layout = column_windows_by_duration(
+                columns, config.monitor.window_duration_us
+            )
+            first_live = int(np.searchsorted(layout.end_us, boundary, side="right"))
+            if position == 0:
+                reference_windows = materialize_layout_windows(
+                    columns, layout, 0, first_live
+                )
+            shards[f"stream-{position:02d}"] = ColumnarWindowSource(
+                columns, first_window=first_live
+            )
+    else:
+        for position, trace in enumerate(traces):
+            reference, live = trace.stream().split_reference(
+                config.monitor.reference_duration_us,
+                window_duration_us=config.monitor.window_duration_us,
+            )
+            if position == 0:
+                reference_windows = reference
+            shards[f"stream-{position:02d}"] = live
     model = monitor.learn_reference(reference_windows)
 
     fleet = ShardedTraceMonitor(config.detector, config.monitor, registry)

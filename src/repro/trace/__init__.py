@@ -7,10 +7,23 @@ windows of consecutive events, streamed to the online monitor.
 
 from .event import EventType, EventTypeRegistry, TraceEvent, DEFAULT_REGISTRY
 from .window import TraceWindow
-from .batch import WindowBatch, batch_windows
-from .stream import TraceStream, WindowPolicy, windows_by_count, windows_by_duration
+from .batch import LazyWindowRef, WindowBatch, batch_windows
+from .columns import TraceColumns, encoded_window_sizes_columns
+from .stream import (
+    ColumnWindowLayout,
+    ColumnarWindowSource,
+    TraceStream,
+    WindowPolicy,
+    column_windows_by_count,
+    column_windows_by_duration,
+    iter_column_batches,
+    materialize_layout_windows,
+    windows_by_count,
+    windows_by_duration,
+)
 from .codec import BinaryTraceCodec, JsonTraceCodec, encoded_event_size, encoded_trace_size
-from .reader import read_trace, iter_trace_file
+from .pipeline import prefetch_batches
+from .reader import iter_trace_file, iter_window_batches, read_trace, read_trace_columns
 from .writer import write_trace
 from .stats import TraceStatistics, summarize
 from .generator import SyntheticTraceGenerator, PeriodicTraceGenerator
@@ -22,17 +35,29 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "TraceWindow",
     "WindowBatch",
+    "LazyWindowRef",
     "batch_windows",
+    "TraceColumns",
+    "encoded_window_sizes_columns",
     "TraceStream",
     "WindowPolicy",
+    "ColumnWindowLayout",
+    "ColumnarWindowSource",
+    "column_windows_by_count",
+    "column_windows_by_duration",
+    "iter_column_batches",
+    "materialize_layout_windows",
     "windows_by_count",
     "windows_by_duration",
     "BinaryTraceCodec",
     "JsonTraceCodec",
     "encoded_event_size",
     "encoded_trace_size",
+    "prefetch_batches",
     "read_trace",
     "iter_trace_file",
+    "read_trace_columns",
+    "iter_window_batches",
     "write_trace",
     "TraceStatistics",
     "summarize",

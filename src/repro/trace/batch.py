@@ -25,15 +25,16 @@ for the recorder.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import TraceFormatError, TraceStreamError
+from .codec import encoded_window_sizes
 from .event import EventTypeRegistry
 from .window import TraceWindow
 
-__all__ = ["WindowBatch", "batch_windows"]
+__all__ = ["WindowBatch", "LazyWindowRef", "batch_windows"]
 
 
 class WindowBatch:
@@ -60,7 +61,7 @@ class WindowBatch:
     """
 
     __slots__ = ("codes", "offsets", "indices", "start_us", "end_us", "dims",
-                 "dimension", "_windows")
+                 "dimension", "_windows", "_sizes", "_factory", "_lazy_cache")
 
     def __init__(
         self,
@@ -72,6 +73,8 @@ class WindowBatch:
         dims: np.ndarray | None = None,
         dimension: int | None = None,
         windows: Sequence[TraceWindow] | None = None,
+        window_sizes: np.ndarray | None = None,
+        window_factory: Callable[[int], TraceWindow] | None = None,
     ) -> None:
         self.codes = np.asarray(codes, dtype=np.int32)
         self.offsets = np.asarray(offsets, dtype=np.int64)
@@ -116,6 +119,16 @@ class WindowBatch:
                 f"per-window dims must lie in [0, {self.dimension}]"
             )
         self._windows = tuple(windows) if windows is not None else None
+        if window_sizes is not None:
+            window_sizes = np.asarray(window_sizes, dtype=np.int64)
+            if len(window_sizes) != n:
+                raise TraceFormatError(
+                    f"window_sizes length {len(window_sizes)} does not match "
+                    f"window count {n}"
+                )
+        self._sizes = window_sizes
+        self._factory = window_factory
+        self._lazy_cache: list[TraceWindow | None] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -211,24 +224,115 @@ class WindowBatch:
         """Whether the source windows were kept for round-tripping."""
         return self._windows is not None
 
+    @property
+    def can_materialize(self) -> bool:
+        """Whether windows can be produced (kept, or lazily constructible)."""
+        return self._windows is not None or self._factory is not None
+
     def to_windows(self) -> tuple[TraceWindow, ...]:
-        """Return the source :class:`TraceWindow` objects, in order."""
-        if self._windows is None:
-            raise TraceStreamError(
-                "this WindowBatch was built without its source windows "
-                "(keep_windows=False or raw-array construction)"
-            )
-        return self._windows
+        """Return the source :class:`TraceWindow` objects, in order.
+
+        Batches built by the columnar ingest plane carry a window *factory*
+        instead of pre-built windows; for those every window is materialised
+        (and cached) on the first call.
+        """
+        if self._windows is not None:
+            return self._windows
+        if self._factory is not None:
+            return tuple(self.window(position) for position in range(len(self)))
+        raise TraceStreamError(
+            "this WindowBatch was built without its source windows "
+            "(keep_windows=False or raw-array construction)"
+        )
 
     def window(self, position: int) -> TraceWindow:
-        """Return the source window at ``position``."""
-        return self.to_windows()[position]
+        """Return the source window at ``position`` (lazily materialised)."""
+        if self._windows is not None:
+            return self._windows[position]
+        if self._factory is None:
+            return self.to_windows()[position]  # raises the standard error
+        if self._lazy_cache is None:
+            self._lazy_cache = [None] * len(self)
+        window = self._lazy_cache[position]
+        if window is None:
+            window = self._factory(position)
+            self._lazy_cache[position] = window
+        return window
+
+    def window_sizes(self) -> list[int]:
+        """Binary-encoded byte size of each window, in window order.
+
+        Columnar batches carry sizes precomputed by the vectorized
+        accounting (:func:`~repro.trace.columns.encoded_window_sizes_columns`);
+        object-built batches fall back to sizing the source windows.  Both
+        are bit-identical to
+        :func:`~repro.trace.codec.encoded_window_sizes`.
+        """
+        if self._sizes is not None:
+            return self._sizes.tolist()
+        return encoded_window_sizes(self.to_windows())
+
+    def window_refs(self) -> Sequence["TraceWindow | LazyWindowRef"]:
+        """Per-window handles for the recorder, cheapest available form.
+
+        Returns the kept source windows when present; otherwise lazy
+        references that expose ``index`` / ``len()`` / time extent from the
+        batch arrays and only materialise events via :meth:`window` when
+        ``.events`` (or ``resolve()``) is touched — i.e. when the recorder
+        actually writes the window.
+        """
+        if self._windows is not None:
+            return self._windows
+        if self._factory is None:
+            return self.to_windows()  # raises the standard error
+        return tuple(LazyWindowRef(self, position) for position in range(len(self)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WindowBatch(n_windows={len(self)}, n_events={self.n_events}, "
             f"dimension={self.dimension})"
         )
+
+
+class LazyWindowRef:
+    """A window handle that defers event materialisation.
+
+    Duck-types the slice of the :class:`~repro.trace.window.TraceWindow`
+    API the recorder touches for *every* window (``index``, ``start_us`` /
+    ``end_us``, ``len()``) while producing the actual events only when
+    ``.events`` is read or :meth:`resolve` is called — which the recorder
+    does solely for windows it writes to storage (or keeps in memory).
+    """
+
+    __slots__ = ("_batch", "position", "index", "start_us", "end_us", "_n_events")
+
+    def __init__(self, batch: WindowBatch, position: int) -> None:
+        self._batch = batch
+        self.position = position
+        self.index = int(batch.indices[position])
+        self.start_us = int(batch.start_us[position])
+        self.end_us = int(batch.end_us[position])
+        self._n_events = int(batch.offsets[position + 1] - batch.offsets[position])
+
+    def __len__(self) -> int:
+        return self._n_events
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the window contains no events."""
+        return self._n_events == 0
+
+    def resolve(self) -> TraceWindow:
+        """Materialise (and cache, batch-side) the full window object."""
+        return self._batch.window(self.position)
+
+    @property
+    def events(self):
+        """The window's events (materialises the window)."""
+        return self.resolve().events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyWindowRef(index={self.index}, n_events={self._n_events})"
 
 
 def batch_windows(

@@ -66,6 +66,37 @@ def _check_core_range(core: int) -> None:
         )
 
 
+def _parse_segment_header(data: bytes, offset: int) -> tuple["EventTypeRegistry", int, int]:
+    """Parse one binary-segment header; return (registry, count, body offset).
+
+    Single definition of the segment-header walk (magic, header length,
+    version, registry validation) shared by the object decoder
+    (:meth:`BinaryTraceCodec.decode`) and the columnar decoder
+    (:func:`~repro.trace.columns.decode_binary_columns`), so the two can
+    never diverge on the format.
+    """
+    if data[offset : offset + 4] != _MAGIC:
+        raise TraceFormatError(
+            "not a binary trace (bad magic)"
+            if offset == 0
+            else "trailing bytes after binary trace segment (bad magic)"
+        )
+    if offset + 8 > len(data):
+        raise TraceFormatError("truncated binary trace header")
+    (header_len,) = struct.unpack("<I", data[offset + 4 : offset + 8])
+    header_end = offset + 8 + header_len
+    if header_end > len(data):
+        raise TraceFormatError("truncated binary trace header")
+    try:
+        header = json.loads(data[offset + 8 : header_end].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TraceFormatError("malformed binary trace header") from exc
+    if header.get("version") != _VERSION:
+        raise TraceFormatError(f"unsupported trace version: {header.get('version')}")
+    registry = EventTypeRegistry.from_dict(header.get("registry", {}))
+    return registry, int(header.get("count", 0)), header_end
+
+
 def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
     """Decode a varint starting at ``offset``; return (value, new offset)."""
     result = 0
@@ -141,12 +172,19 @@ class BinaryTraceCodec:
         core = data[offset]
         offset += 1
         task_len, offset = _decode_varint(data, offset)
+        if offset + task_len > len(data):
+            raise TraceFormatError("truncated event record")
         task = data[offset : offset + task_len].decode("utf-8")
         offset += task_len
         payload_len, offset = _decode_varint(data, offset)
+        if offset + payload_len > len(data):
+            raise TraceFormatError("truncated event record")
         payload_raw = data[offset : offset + payload_len]
         offset += payload_len
-        args = json.loads(payload_raw.decode("utf-8")) if payload_len else {}
+        try:
+            args = json.loads(payload_raw.decode("utf-8")) if payload_len else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TraceFormatError("malformed event payload in binary trace") from exc
         event = TraceEvent(
             timestamp_us=previous_timestamp_us + delta,
             etype=self.registry.name(code),
@@ -177,31 +215,40 @@ class BinaryTraceCodec:
         )
 
     def decode(self, data: bytes) -> list[TraceEvent]:
-        """Decode a blob produced by :meth:`encode`."""
+        """Decode a blob produced by :meth:`encode`.
+
+        Concatenations of several such blobs (*segments*) are decoded as one
+        event sequence: each segment carries its own registry and restarts
+        its timestamp deltas, which is what the binary recording sink writes
+        (one segment per recorded window).  Trailing bytes that do not start
+        a new segment raise :class:`~repro.errors.TraceFormatError`.
+        """
         if data[:4] != _MAGIC:
             raise TraceFormatError("not a binary trace (bad magic)")
-        if len(data) < 8:
-            raise TraceFormatError("truncated binary trace header")
-        (header_len,) = struct.unpack("<I", data[4:8])
-        header_end = 8 + header_len
-        if header_end > len(data):
-            raise TraceFormatError("truncated binary trace header")
-        try:
-            header = json.loads(data[8:header_end].decode("utf-8"))
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError("malformed binary trace header") from exc
-        if header.get("version") != _VERSION:
-            raise TraceFormatError(f"unsupported trace version: {header.get('version')}")
-        registry = EventTypeRegistry.from_dict(header.get("registry", {}))
-        codec = BinaryTraceCodec(registry)
         events: list[TraceEvent] = []
-        offset = header_end
-        previous = 0
-        for _ in range(int(header.get("count", 0))):
-            event, offset = codec.decode_event(data, offset, previous)
-            previous = event.timestamp_us
-            events.append(event)
+        offset = 0
+        while offset < len(data):
+            registry, count, offset = _parse_segment_header(data, offset)
+            codec = BinaryTraceCodec(registry)
+            previous = 0
+            for _ in range(count):
+                event, offset = codec.decode_event(data, offset, previous)
+                previous = event.timestamp_us
+                events.append(event)
         return events
+
+    def decode_columns(self, data: bytes):
+        """Decode a binary trace straight into flat arrays.
+
+        Returns a :class:`~repro.trace.columns.TraceColumns` whose arrays
+        are bit-identical to what :meth:`decode` would produce — one walk
+        over the varint records, no per-event objects, no JSON payload
+        parsing (payloads are only length-skipped; they are parsed lazily
+        if a window is ever materialised).
+        """
+        from .columns import decode_binary_columns
+
+        return decode_binary_columns(data)
 
     def event_size(self, event: TraceEvent, previous_timestamp_us: int = 0) -> int:
         """Size in bytes of ``event`` under this codec."""
@@ -249,6 +296,18 @@ class JsonTraceCodec:
             line = line.strip()
             if line:
                 yield self.decode_event(line)
+
+    def decode_columns(self, text: str):
+        """Decode a JSON-lines trace straight into flat arrays.
+
+        Returns a :class:`~repro.trace.columns.TraceColumns` equivalent to
+        materialising every line with :meth:`decode_event` — one
+        ``json.loads`` per line, but no :class:`TraceEvent` objects on the
+        hot path.
+        """
+        from .columns import decode_json_columns
+
+        return decode_json_columns(text)
 
 
 def encoded_event_size(event: TraceEvent, previous_timestamp_us: int = 0) -> int:

@@ -1,0 +1,537 @@
+"""Columnar trace decode: raw trace bytes to flat NumPy arrays.
+
+The object decoders (:meth:`~repro.trace.codec.BinaryTraceCodec.decode`,
+:meth:`~repro.trace.codec.JsonTraceCodec.decode`) materialise one
+:class:`~repro.trace.event.TraceEvent` per event — convenient, but the
+per-event allocation cost dominates file-fed monitoring now that scoring is
+vectorized.  :class:`TraceColumns` is the columnar alternative: one pass over
+the raw buffer fills flat arrays —
+
+* ``timestamps_us`` — ``int64`` microsecond timestamps, in stream order;
+* ``type_codes`` — ``int32`` event-type codes against the columns' own
+  *file registry* (``type_names``, first-appearance order);
+* ``cores`` — ``int64`` core indices;
+* ``static_sizes`` — ``int64`` per-event byte cost of the binary codec's
+  core/task/payload fields (everything except the per-window varint-encoded
+  timestamp delta and event-type code), so window byte accounting is a
+  vectorized sum instead of an encode pass.
+
+The raw source (binary buffer + per-record offsets, JSON-lines text + line
+spans, or the original event tuple) is kept alongside the arrays, so
+:class:`~repro.trace.event.TraceEvent` objects can still be materialised
+lazily — the recorder only needs them for the windows it actually writes.
+A :class:`TraceColumns` pickles as a handful of arrays plus one flat
+buffer, far cheaper than a list of event objects, which is what the
+process-parallel fleet ships to its workers on spawn-only platforms.
+
+Decoding is bit-identical to the object decoders: rebuilding the events
+from the columns reproduces ``read_trace`` exactly, and the derived window
+sizes equal :func:`~repro.trace.codec.encoded_window_sizes` (the property
+suite asserts both).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .codec import (
+    _MAGIC,
+    JsonTraceCodec,
+    _decode_varint,
+    _parse_segment_header,
+    _varint_size,
+)
+from .event import TraceEvent
+
+#: Shared stateless codec for lazy JSON-line materialisation.
+_JSON_CODEC = JsonTraceCodec()
+
+__all__ = [
+    "TraceColumns",
+    "decode_binary_columns",
+    "decode_json_columns",
+    "encoded_window_sizes_columns",
+    "varint_size_array",
+]
+
+
+def varint_size_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`~repro.trace.codec._varint_size` over an array.
+
+    Exact (no floating-point log tricks): one compare-and-add per extra
+    varint byte, at most nine iterations for ``int64`` input.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and int(values.min()) < 0:
+        bad = int(values[values < 0][0])
+        raise TraceFormatError(f"cannot varint-encode negative value {bad}")
+    sizes = np.ones(len(values), dtype=np.int64)
+    shifted = values >> 7
+    while shifted.any():
+        sizes += shifted > 0
+        shifted >>= 7
+    return sizes
+
+
+class TraceColumns:
+    """A whole trace as flat arrays plus a lazily decodable raw source.
+
+    Instances are produced by :func:`decode_binary_columns`,
+    :func:`decode_json_columns`, :meth:`TraceColumns.from_events` or
+    :func:`~repro.trace.reader.read_trace_columns`; the constructor wires
+    pre-validated arrays and is not meant to be called directly.
+    """
+
+    __slots__ = (
+        "timestamps_us",
+        "type_codes",
+        "cores",
+        "type_names",
+        "static_sizes",
+        "_source_kind",
+        "_binary_data",
+        "_record_offsets",
+        "_text",
+        "_line_starts",
+        "_line_ends",
+        "_events",
+    )
+
+    def __init__(
+        self,
+        timestamps_us: np.ndarray,
+        type_codes: np.ndarray,
+        cores: np.ndarray,
+        type_names: tuple[str, ...],
+        static_sizes: np.ndarray,
+        source_kind: str,
+        binary_data: bytes | None = None,
+        record_offsets: np.ndarray | None = None,
+        text: str | None = None,
+        line_starts: np.ndarray | None = None,
+        line_ends: np.ndarray | None = None,
+        events: tuple[TraceEvent, ...] | None = None,
+    ) -> None:
+        self.timestamps_us = np.asarray(timestamps_us, dtype=np.int64)
+        self.type_codes = np.asarray(type_codes, dtype=np.int32)
+        self.cores = np.asarray(cores, dtype=np.int64)
+        self.type_names = tuple(type_names)
+        self.static_sizes = np.asarray(static_sizes, dtype=np.int64)
+        n = len(self.timestamps_us)
+        for name, array in (
+            ("type_codes", self.type_codes),
+            ("cores", self.cores),
+            ("static_sizes", self.static_sizes),
+        ):
+            if len(array) != n:
+                raise TraceFormatError(
+                    f"column {name} length {len(array)} does not match "
+                    f"event count {n}"
+                )
+        if source_kind not in {"binary", "jsonl", "events"}:
+            raise TraceFormatError(f"unknown column source kind: {source_kind!r}")
+        self._source_kind = source_kind
+        self._binary_data = binary_data
+        self._record_offsets = record_offsets
+        self._text = text
+        self._line_starts = line_starts
+        self._line_ends = line_ends
+        self._events = events
+
+    # ------------------------------------------------------------------ #
+    # Container behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.timestamps_us)
+
+    @property
+    def n_events(self) -> int:
+        """Total number of events in the trace."""
+        return len(self.timestamps_us)
+
+    @property
+    def source_kind(self) -> str:
+        """Where lazily materialised events come from (binary/jsonl/events)."""
+        return self._source_kind
+
+    @property
+    def duration_us(self) -> int:
+        """Extent of the trace (last timestamp; 0 when empty)."""
+        if not len(self.timestamps_us):
+            return 0
+        return int(self.timestamps_us[-1])
+
+    # ------------------------------------------------------------------ #
+    # Construction from in-memory events
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TraceColumns":
+        """Build columns from an in-memory event sequence.
+
+        Useful for feeding simulated (never serialised) traces through the
+        columnar ingest plane; the events themselves back the lazy
+        materialisation, so round-tripping is free.
+        """
+        events = tuple(events)
+        n = len(events)
+        timestamps = np.empty(n, dtype=np.int64)
+        codes = np.empty(n, dtype=np.int32)
+        cores = np.empty(n, dtype=np.int64)
+        static = np.empty(n, dtype=np.int64)
+        code_by_name: dict[str, int] = {}
+        names: list[str] = []
+        task_cache: dict[str, int] = {}
+        for i, event in enumerate(events):
+            timestamps[i] = event.timestamp_us
+            code = code_by_name.get(event.etype)
+            if code is None:
+                code = len(names)
+                code_by_name[event.etype] = code
+                names.append(event.etype)
+            codes[i] = code
+            cores[i] = event.core
+            static[i] = 1 + _task_field_size(event.task, task_cache) + (
+                _payload_field_size(event.args)
+            )
+        return cls(
+            timestamps_us=timestamps,
+            type_codes=codes,
+            cores=cores,
+            type_names=tuple(names),
+            static_sizes=static,
+            source_kind="events",
+            events=events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lazy event materialisation
+    # ------------------------------------------------------------------ #
+    def events(self, start: int, stop: int) -> tuple[TraceEvent, ...]:
+        """Materialise events ``start <= i < stop`` from the raw source.
+
+        Bit-identical to the corresponding slice of the object decode; only
+        called for windows the recorder actually persists (or keeps).
+        """
+        if start < 0 or stop > len(self) or start > stop:
+            raise TraceFormatError(
+                f"event slice [{start}, {stop}) out of range for "
+                f"{len(self)} events"
+            )
+        if self._source_kind == "events":
+            assert self._events is not None
+            return self._events[start:stop]
+        if self._source_kind == "binary":
+            return tuple(self._binary_event(i) for i in range(start, stop))
+        return tuple(self._json_event(i) for i in range(start, stop))
+
+    def to_events(self) -> tuple[TraceEvent, ...]:
+        """Materialise the whole trace (the object-decode result)."""
+        return self.events(0, len(self))
+
+    def _binary_event(self, i: int) -> TraceEvent:
+        data = self._binary_data
+        assert data is not None and self._record_offsets is not None
+        offset = int(self._record_offsets[i])
+        _, offset = _decode_varint(data, offset)  # delta (timestamp known)
+        _, offset = _decode_varint(data, offset)  # segment-local code
+        offset += 1  # core byte (known)
+        task_len, offset = _decode_varint(data, offset)
+        try:
+            task = data[offset : offset + task_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                "malformed task name in binary trace"
+            ) from exc
+        offset += task_len
+        payload_len, offset = _decode_varint(data, offset)
+        # The columnar decode only length-skipped the payload; a corrupt
+        # payload therefore surfaces here, at materialisation, with the
+        # same error the object decoder raises at read time.
+        try:
+            if payload_len:
+                args = json.loads(
+                    data[offset : offset + payload_len].decode("utf-8")
+                )
+            else:
+                args = {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                "malformed event payload in binary trace"
+            ) from exc
+        return TraceEvent(
+            timestamp_us=int(self.timestamps_us[i]),
+            etype=self.type_names[int(self.type_codes[i])],
+            core=int(self.cores[i]),
+            task=task,
+            args=args,
+        )
+
+    def _json_event(self, i: int) -> TraceEvent:
+        assert (
+            self._text is not None
+            and self._line_starts is not None
+            and self._line_ends is not None
+        )
+        line = self._text[int(self._line_starts[i]) : int(self._line_ends[i])]
+        return _JSON_CODEC.decode_event(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceColumns(n_events={len(self)}, "
+            f"n_types={len(self.type_names)}, source={self._source_kind!r})"
+        )
+
+
+def _task_field_size(task: str, cache: dict[str, int]) -> int:
+    """Encoded size of the task field (varint length prefix + UTF-8 bytes)."""
+    size = cache.get(task)
+    if size is None:
+        length = len(task.encode("utf-8"))
+        size = _varint_size(length) + length
+        cache[task] = size
+    return size
+
+
+def _payload_field_size(args) -> int:
+    """Encoded size of the payload field, mirroring ``encoded_trace_size``."""
+    if not args:
+        return 1
+    # json.dumps escapes non-ASCII by default, so the string length equals
+    # the UTF-8 byte length (same shortcut as encoded_trace_size).
+    length = len(json.dumps(dict(args), sort_keys=True, separators=(",", ":")))
+    return _varint_size(length) + length
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized decoders
+# ---------------------------------------------------------------------- #
+def decode_binary_columns(data: bytes) -> TraceColumns:
+    """Decode a (possibly segmented) binary trace blob into columns.
+
+    Walks the records once — varint lengths only, no UTF-8 decode, no JSON
+    parse, no event objects — and fills the flat arrays.  Concatenated
+    segments (as written by the binary recording sink) share one global
+    type table built in first-appearance order.
+    """
+    if data[:4] != _MAGIC:
+        raise TraceFormatError("not a binary trace (bad magic)")
+    name_codes: dict[str, int] = {}
+    names: list[str] = []
+    ts_parts: list[np.ndarray] = []
+    code_parts: list[np.ndarray] = []
+    core_parts: list[np.ndarray] = []
+    static_parts: list[np.ndarray] = []
+    offset_parts: list[np.ndarray] = []
+    size = len(data)
+    offset = 0
+    while offset < size:
+        # Shared header walk with the object decoder (magic, length,
+        # version, registry contiguity) — the two decoders cannot diverge.
+        segment_registry, count, offset = _parse_segment_header(data, offset)
+        segment_names = segment_registry.names
+        remap = np.empty(len(segment_names), dtype=np.int32)
+        for local, name in enumerate(segment_names):
+            code = name_codes.get(name)
+            if code is None:
+                code = len(names)
+                name_codes[name] = code
+                names.append(name)
+            remap[local] = code
+        timestamps = np.empty(count, dtype=np.int64)
+        codes = np.empty(count, dtype=np.int32)
+        cores = np.empty(count, dtype=np.int64)
+        static = np.empty(count, dtype=np.int64)
+        records = np.empty(count, dtype=np.int64)
+        previous = 0
+        n_segment_types = len(segment_names)
+        for i in range(count):
+            records[i] = offset
+            delta, offset = _decode_varint(data, offset)
+            code, offset = _decode_varint(data, offset)
+            if code >= n_segment_types:
+                raise TraceFormatError(f"unknown event-type code: {code}")
+            if offset >= size:
+                raise TraceFormatError("truncated event record")
+            core = data[offset]
+            offset += 1
+            task_len, task_end = _decode_varint(data, offset)
+            task_field = (task_end - offset) + task_len
+            offset = task_end + task_len
+            if offset > size:
+                raise TraceFormatError("truncated event record")
+            payload_len, payload_end = _decode_varint(data, offset)
+            payload_field = (payload_end - offset) + payload_len
+            offset = payload_end + payload_len
+            if offset > size:
+                raise TraceFormatError("truncated event record")
+            previous += delta
+            timestamps[i] = previous
+            codes[i] = remap[code]
+            cores[i] = core
+            static[i] = 1 + task_field + payload_field
+        ts_parts.append(timestamps)
+        code_parts.append(codes)
+        core_parts.append(cores)
+        static_parts.append(static)
+        offset_parts.append(records)
+    return TraceColumns(
+        timestamps_us=_concat(ts_parts, np.int64),
+        type_codes=_concat(code_parts, np.int32),
+        cores=_concat(core_parts, np.int64),
+        type_names=tuple(names),
+        static_sizes=_concat(static_parts, np.int64),
+        source_kind="binary",
+        binary_data=data,
+        record_offsets=_concat(offset_parts, np.int64),
+    )
+
+
+def _concat(parts: Sequence[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def decode_json_columns(text: str) -> TraceColumns:
+    """Decode a JSON-lines trace into columns.
+
+    One ``json.loads`` per line is unavoidable, but nothing else per event
+    is: no :class:`TraceEvent` construction, no per-event windowing, and
+    the byte accounting inputs are computed inline (task field sizes are
+    cached per task name).  Empty lines are skipped exactly as the object
+    reader does.
+    """
+    timestamps: list[int] = []
+    codes: list[int] = []
+    cores: list[int] = []
+    static: list[int] = []
+    line_starts: list[int] = []
+    line_ends: list[int] = []
+    name_codes: dict[str, int] = {}
+    names: list[str] = []
+    task_cache: dict[str, int] = {}
+    position = 0
+    for raw in text.split("\n"):
+        start = position
+        position += len(raw) + 1
+        line = raw.strip()
+        if not line:
+            continue
+        lead = len(raw) - len(raw.lstrip())
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"malformed JSON event line: {line!r}") from exc
+        try:
+            timestamp = int(record["t"])
+            etype = str(record["type"])
+            core = int(record.get("core", 0))
+            task = str(record.get("task", ""))
+            args = dict(record.get("args", {}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed event record: {record!r}") from exc
+        if timestamp < 0:
+            raise TraceFormatError(f"negative timestamp: {timestamp}")
+        code = name_codes.get(etype)
+        if code is None:
+            code = len(names)
+            name_codes[etype] = code
+            names.append(etype)
+        task_field = _task_field_size(task, task_cache)
+        payload_field = _payload_field_size(args)
+        timestamps.append(timestamp)
+        codes.append(code)
+        cores.append(core)
+        static.append(1 + task_field + payload_field)
+        line_starts.append(start + lead)
+        line_ends.append(start + lead + len(line))
+    return TraceColumns(
+        timestamps_us=np.array(timestamps, dtype=np.int64),
+        type_codes=np.array(codes, dtype=np.int32),
+        cores=np.array(cores, dtype=np.int64),
+        type_names=tuple(names),
+        static_sizes=np.array(static, dtype=np.int64),
+        source_kind="jsonl",
+        text=text,
+        line_starts=np.array(line_starts, dtype=np.int64),
+        line_ends=np.array(line_ends, dtype=np.int64),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized window byte accounting
+# ---------------------------------------------------------------------- #
+def encoded_window_sizes_columns(
+    columns: TraceColumns, event_offsets: np.ndarray
+) -> np.ndarray:
+    """Binary-encoded size of consecutive windows, straight from columns.
+
+    ``event_offsets`` delimits the windows (CSR-style, length
+    ``n_windows + 1``, global event indices).  Bit-identical to
+    :func:`~repro.trace.codec.encoded_window_sizes` over the materialised
+    windows: per window, timestamp deltas restart (the first event is
+    encoded against timestamp 0) and event-type codes come from a fresh
+    per-window registry, exactly like the recorder's accounting.
+    """
+    offsets = np.asarray(event_offsets, dtype=np.int64)
+    if len(offsets) == 0:
+        raise TraceFormatError("event_offsets must contain at least one entry")
+    lo, hi = int(offsets[0]), int(offsets[-1])
+    n_span = hi - lo
+    cores = columns.cores[lo:hi]
+    if n_span and (int(cores.min()) < 0 or int(cores.max()) > 0xFF):
+        bad = int(cores[(cores < 0) | (cores > 0xFF)][0])
+        raise TraceFormatError(
+            f"core index {bad} does not fit the codec's 1-byte core field "
+            "(valid range 0-255)"
+        )
+    local = offsets - lo
+    totals = np.zeros(n_span, dtype=np.int64)
+    if n_span:
+        segment = columns.timestamps_us[lo:hi]
+        deltas = np.empty(n_span, dtype=np.int64)
+        deltas[0] = segment[0]
+        np.subtract(segment[1:], segment[:-1], out=deltas[1:])
+        starts = local[:-1]
+        starts = starts[starts < n_span]
+        deltas[starts] = segment[starts]
+        if int(deltas.min()) < 0:
+            bad = int(np.flatnonzero(deltas < 0)[0])
+            raise TraceFormatError(
+                "events must be encoded in timestamp order "
+                f"({int(segment[bad])} after {int(segment[bad - 1])})"
+            )
+        totals += varint_size_array(deltas)
+        totals += columns.static_sizes[lo:hi]
+        if len(columns.type_names) <= 0x80:
+            # Every within-window first-appearance code fits one varint byte.
+            totals += 1
+        else:
+            totals += _window_code_sizes(columns.type_codes[lo:hi], local)
+    cumulative = np.concatenate(([0], np.cumsum(totals)))
+    return cumulative[local[1:]] - cumulative[local[:-1]]
+
+
+def _window_code_sizes(codes: np.ndarray, local_offsets: np.ndarray) -> np.ndarray:
+    """Per-event varint size of the per-window fresh-registry type code.
+
+    Slow path, only reached when a trace carries more than 128 distinct
+    event types (a window could then need 2-byte codes).  Mirrors the
+    ``codes.setdefault(etype, len(codes))`` numbering of
+    :func:`~repro.trace.codec.encoded_trace_size`.
+    """
+    sizes = np.empty(len(codes), dtype=np.int64)
+    for w in range(len(local_offsets) - 1):
+        ranks: dict[int, int] = {}
+        for i in range(int(local_offsets[w]), int(local_offsets[w + 1])):
+            rank = ranks.setdefault(int(codes[i]), len(ranks))
+            sizes[i] = _varint_size(rank)
+    return sizes
+
+

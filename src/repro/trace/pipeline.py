@@ -1,0 +1,91 @@
+"""Bounded producer/consumer hand-off between ingest and scoring.
+
+The columnar ingest plane removed per-event Python from the windowing hot
+path, but a file-fed monitor still alternates between two phases: building
+the next :class:`~repro.trace.batch.WindowBatch` (decode, mapping, byte
+accounting — Python and small-array work) and scoring it (NumPy kernels).
+:func:`prefetch_batches` overlaps the two with one background thread and a
+bounded queue: the producer stays at most ``depth`` batches ahead, so memory
+is capped at ``depth`` batches regardless of file size.
+
+Ordering is preserved, exceptions raised by the producer surface in the
+consumer at the point of the failed batch, and abandoning the iterator
+(``close()`` / garbage collection of the generator) stops the producer
+thread promptly.  Registry growth performed by the producer is safe to
+observe from the consumer: a batch is only handed over *after* its types
+are registered, and the queue crossing orders those writes before the
+consumer's reads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator, TypeVar
+
+__all__ = ["prefetch_batches"]
+
+T = TypeVar("T")
+
+#: How long the producer waits on a full queue before re-checking whether
+#: the consumer is gone.  Purely a shutdown-latency knob.
+_PUT_POLL_S = 0.05
+
+
+def _offer(
+    q: "queue.Queue", item: object, stop: threading.Event
+) -> bool:
+    """Put ``item`` unless the consumer asked to stop; return success."""
+    while not stop.is_set():
+        try:
+            q.put(item, timeout=_PUT_POLL_S)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def prefetch_batches(iterable: Iterable[T], depth: int) -> Iterator[T]:
+    """Iterate ``iterable`` through a ``depth``-bounded background producer.
+
+    ``depth <= 0`` disables the thread entirely (plain iteration), so call
+    sites can expose a single knob.
+    """
+    if depth <= 0:
+        yield from iterable
+        return
+
+    handoff: "queue.Queue" = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def _produce() -> None:
+        try:
+            for item in iterable:
+                if not _offer(handoff, ("item", item), stop):
+                    return
+            _offer(handoff, ("done", None), stop)
+        except BaseException as exc:  # noqa: BLE001 - re-raised consumer-side
+            _offer(handoff, ("error", exc), stop)
+
+    producer = threading.Thread(
+        target=_produce, name="repro-ingest-prefetch", daemon=True
+    )
+    producer.start()
+    try:
+        while True:
+            kind, value = handoff.get()
+            if kind == "item":
+                yield value
+            elif kind == "error":
+                raise value
+            else:
+                return
+    finally:
+        stop.set()
+        # Drain so a producer blocked on a full queue can observe the stop.
+        while True:
+            try:
+                handoff.get_nowait()
+            except queue.Empty:
+                break
+        producer.join(timeout=5.0)

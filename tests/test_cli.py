@@ -238,3 +238,81 @@ class TestSimulate:
         assert output.exists()
         qos_payload = json.loads(qos.read_text())
         assert "perturbations" in qos_payload and "errors" in qos_payload
+
+
+class TestIngestFlags:
+    """The columnar ingest plane is the CLI default and bit-identical."""
+
+    def _monitor(self, trace_file, capsys, *extra):
+        args = [
+            "--json", "monitor", str(trace_file), "--reference-s", "4",
+            "--k", "10", *extra,
+        ]
+        assert main(args) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_monitor_ingest_modes_identical(self, trace_file, tmp_path, capsys):
+        out_col = tmp_path / "col.jsonl"
+        out_obj = tmp_path / "obj.jsonl"
+        payload_col = self._monitor(
+            trace_file, capsys, "--output", str(out_col)
+        )
+        payload_obj = self._monitor(
+            trace_file, capsys, "--ingest", "objects", "--output", str(out_obj)
+        )
+        assert payload_col == payload_obj
+        assert out_col.read_bytes() == out_obj.read_bytes()
+
+    def test_monitor_prefetch_zero_identical(self, trace_file, capsys):
+        with_prefetch = self._monitor(trace_file, capsys, "--prefetch", "4")
+        without_prefetch = self._monitor(trace_file, capsys, "--prefetch", "0")
+        assert with_prefetch == without_prefetch
+
+    def test_monitor_binary_recording_format(self, trace_file, tmp_path, capsys):
+        from repro.trace.reader import read_trace
+
+        recorded = tmp_path / "recorded.bin"
+        payload = self._monitor(
+            trace_file, capsys,
+            "--recording-format", "binary", "--output", str(recorded),
+        )
+        assert payload["recorded_bytes"] > 0
+        assert recorded.read_bytes()[:4] == b"RTRC"
+        assert len(read_trace(recorded)) > 0
+
+    def test_monitor_empty_file_reports_clear_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert main(["monitor", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty trace file" in err and str(empty) in err
+
+    def test_fleet_ingest_modes_identical(
+        self, tmp_path, normal_mix, anomaly_mix, capsys
+    ):
+        paths = []
+        for position in range(2):
+            generator = PeriodicTraceGenerator(
+                normal_mix,
+                anomaly_mix,
+                anomaly_intervals=[(6.0, 8.0)],
+                rate_per_s=2_000,
+                seed=61 + position,
+            )
+            path = tmp_path / f"shard{position}.jsonl"
+            write_trace(generator.events(12.0), path)
+            paths.append(str(path))
+        dir_col = tmp_path / "col"
+        dir_obj = tmp_path / "obj"
+        base = ["--json", "fleet", *paths, "--reference-s", "4", "--k", "10"]
+        assert main(base + ["--output-dir", str(dir_col)]) == 0
+        payload_col = json.loads(capsys.readouterr().out)
+        assert main(
+            base + ["--ingest", "objects", "--output-dir", str(dir_obj)]
+        ) == 0
+        payload_obj = json.loads(capsys.readouterr().out)
+        assert payload_col == payload_obj
+        for shard in ("shard0", "shard1"):
+            assert (dir_col / f"{shard}.jsonl").read_bytes() == (
+                dir_obj / f"{shard}.jsonl"
+            ).read_bytes()

@@ -1,0 +1,270 @@
+"""End-to-end ingest equivalence: columnar path == object path, bit for bit.
+
+The acceptance bar of the columnar ingest plane: for the same trace file,
+monitoring through ``run_on_columns`` / ``run_on_file`` (vectorized decode,
+array-native windowing, lazy batches, optional prefetch) must reproduce the
+object path (``read_trace`` -> ``TraceStream`` -> ``monitor_windows``)
+exactly — per-window decisions, recorder reports, recorded output bytes and
+detector counters — for the single-stream monitor, the serial fleet and the
+process-parallel fleet alike.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.fleet import ShardedTraceMonitor
+from repro.analysis.model import ReferenceModel
+from repro.analysis.monitor import TraceMonitor
+from repro.config import DetectorConfig, MonitorConfig
+from repro.experiments.endurance import run_fleet_endurance_experiment
+from repro.config import EnduranceConfig
+from repro.errors import ExperimentError
+from repro.trace.columns import TraceColumns
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.reader import read_trace, read_trace_columns
+from repro.trace.stream import TraceStream, windows_by_duration
+from repro.trace.writer import write_trace
+
+MIX = {
+    "mb_row_decode": 8.0,
+    "frame_decode_start": 1.0,
+    "frame_decode_end": 1.0,
+    "vsync": 1.0,
+    "audio_decode": 2.0,
+    "buffer_push": 1.0,
+    "buffer_pop": 1.0,
+    "syscall_enter": 1.0,
+}
+
+WINDOW_US = 40_000
+
+
+def generated_events(seed: int, duration_s: float):
+    return list(
+        SyntheticTraceGenerator(MIX, rate_per_s=4000, seed=seed).events(duration_s)
+    )
+
+
+def assert_results_identical(a, b):
+    assert a.decisions == b.decisions
+    assert a.report == b.report
+    assert a.recorded_indices == b.recorded_indices
+    assert a.detector_stats == b.detector_stats
+    assert a.reference_window_count == b.reference_window_count
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("traces")
+    events = generated_events(seed=5, duration_s=25.0)
+    return {
+        "jsonl": write_trace(events, root / "trace.jsonl", fmt="jsonl"),
+        "binary": write_trace(events, root / "trace.bin", fmt="binary"),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Single-stream monitor
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+@pytest.mark.parametrize(
+    "batch_size,context,prefetch",
+    [(1, 0, 0), (64, 2, 0), (64, 0, 4)],
+)
+def test_monitor_file_columnar_equals_object(
+    tmp_path, trace_files, fmt, batch_size, context, prefetch
+):
+    path = trace_files[fmt]
+    detector_config = DetectorConfig(k_neighbours=5, lof_threshold=1.1)
+    monitor_config = MonitorConfig(
+        reference_duration_us=8_000_000,
+        batch_size=batch_size,
+        record_context_windows=context,
+    )
+    out_object = tmp_path / "object.jsonl"
+    out_columnar = tmp_path / "columnar.jsonl"
+
+    object_monitor = TraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    )
+    object_result = object_monitor.run_on_stream(
+        TraceStream(iter(read_trace(path))), output_path=out_object
+    )
+    columnar_monitor = TraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    )
+    columnar_result = columnar_monitor.run_on_file(
+        path, output_path=out_columnar, prefetch_batches=prefetch
+    )
+
+    assert_results_identical(object_result, columnar_result)
+    assert object_result.n_anomalous > 0  # the equivalence is not vacuous
+    assert out_object.read_bytes() == out_columnar.read_bytes()
+    assert object_monitor.registry.names == columnar_monitor.registry.names
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+def test_monitor_file_with_curated_model(tmp_path, trace_files, fmt):
+    """Model-provided monitoring (no reference split) is identical too."""
+    path = trace_files[fmt]
+    registry = EventTypeRegistry.with_default_types()
+    reference = list(
+        windows_by_duration(iter(generated_events(seed=99, duration_s=10.0)), WINDOW_US)
+    )
+    model = ReferenceModel(k_neighbours=5).learn(reference, registry)
+    detector_config = DetectorConfig(k_neighbours=5, lof_threshold=1.1)
+    monitor_config = MonitorConfig(batch_size=32)
+
+    object_result = TraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    ).run_on_stream(TraceStream(iter(read_trace(path))), model=model)
+    columnar_result = TraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    ).run_on_columns(read_trace_columns(path), model=model)
+    assert_results_identical(object_result, columnar_result)
+
+
+# ---------------------------------------------------------------------- #
+# Fleet (serial and process-parallel)
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def fleet_fixture():
+    registry = EventTypeRegistry.with_default_types()
+    reference = list(
+        windows_by_duration(iter(generated_events(seed=99, duration_s=12.0)), WINDOW_US)
+    )
+    model = ReferenceModel(k_neighbours=5).learn(reference, registry)
+    shards_events = {
+        f"stream-{i:02d}": generated_events(seed=10 + i, duration_s=8.0)
+        for i in range(4)
+    }
+    return model, shards_events
+
+
+@pytest.mark.parametrize("fleet_workers", [1, 2])
+def test_fleet_columnar_equals_object(tmp_path, fleet_fixture, fleet_workers):
+    model, shards_events = fleet_fixture
+    detector_config = DetectorConfig(k_neighbours=5, lof_threshold=1.1)
+    monitor_config = MonitorConfig(
+        batch_size=32, record_context_windows=1, fleet_workers=fleet_workers
+    )
+
+    object_dir = tmp_path / "object"
+    columnar_dir = tmp_path / "columnar"
+    object_fleet = ShardedTraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    )
+    object_result = object_fleet.monitor_shards(
+        {
+            label: list(windows_by_duration(iter(events), WINDOW_US))
+            for label, events in shards_events.items()
+        },
+        model,
+        output_dir=object_dir,
+    )
+    columnar_fleet = ShardedTraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    )
+    columnar_result = columnar_fleet.run_on_columns(
+        {
+            label: TraceColumns.from_events(events)
+            for label, events in shards_events.items()
+        },
+        model,
+        output_dir=columnar_dir,
+    )
+
+    assert object_result.shard_labels == columnar_result.shard_labels
+    for label in object_result.shard_labels:
+        assert_results_identical(
+            object_result.shard(label), columnar_result.shard(label)
+        )
+        assert (object_dir / f"{label}.jsonl").read_bytes() == (
+            columnar_dir / f"{label}.jsonl"
+        ).read_bytes()
+    assert object_result.n_anomalous > 0
+    assert object_result.report == columnar_result.report
+    assert object_result.detector_stats == columnar_result.detector_stats
+
+
+def test_fleet_columnar_parallel_equals_serial(tmp_path, fleet_fixture):
+    """Columnar shards through the worker pool == columnar serial, bit for bit."""
+    model, shards_events = fleet_fixture
+    detector_config = DetectorConfig(k_neighbours=5, lof_threshold=1.1)
+    columns = {
+        label: TraceColumns.from_events(events)
+        for label, events in shards_events.items()
+    }
+    results = {}
+    for workers in (1, 3):
+        fleet = ShardedTraceMonitor(
+            detector_config,
+            MonitorConfig(batch_size=32, fleet_workers=workers),
+            EventTypeRegistry.with_default_types(),
+        )
+        out = tmp_path / f"w{workers}"
+        results[workers] = (fleet.monitor_shards(dict(columns), model, output_dir=out), out)
+    serial, serial_dir = results[1]
+    parallel, parallel_dir = results[3]
+    assert serial.shard_labels == parallel.shard_labels
+    for label in serial.shard_labels:
+        assert_results_identical(serial.shard(label), parallel.shard(label))
+        assert (serial_dir / f"{label}.jsonl").read_bytes() == (
+            parallel_dir / f"{label}.jsonl"
+        ).read_bytes()
+
+
+def test_fleet_binary_recording_output(tmp_path, fleet_fixture):
+    """Binary shard files carry the .bin suffix and round-trip via read_trace."""
+    model, shards_events = fleet_fixture
+    fleet = ShardedTraceMonitor(
+        DetectorConfig(k_neighbours=5, lof_threshold=1.1),
+        MonitorConfig(batch_size=32, recording_format="binary"),
+        EventTypeRegistry.with_default_types(),
+    )
+    out = tmp_path / "binary"
+    result = fleet.run_on_columns(
+        {
+            label: TraceColumns.from_events(events)
+            for label, events in shards_events.items()
+        },
+        model,
+        output_dir=out,
+    )
+    for label, shard in result.shard_results.items():
+        path = out / f"{label}.bin"
+        assert path.exists()
+        recorded = read_trace(path) if shard.report.recorded_bytes else []
+        assert len(recorded) == shard.report.recorded_events
+
+
+# ---------------------------------------------------------------------- #
+# Experiments layer
+# ---------------------------------------------------------------------- #
+def test_fleet_endurance_columnar_ingest_identical():
+    config = EnduranceConfig.scaled_paper_setup(duration_s=420.0, reference_s=120.0)
+    object_run = run_fleet_endurance_experiment(
+        config, n_streams=2, ingest="objects"
+    )
+    columnar_run = run_fleet_endurance_experiment(
+        config, n_streams=2, ingest="columnar"
+    )
+    assert object_run.reference_window_count == columnar_run.reference_window_count
+    assert (
+        object_run.fleet_result.shard_labels == columnar_run.fleet_result.shard_labels
+    )
+    for label in object_run.fleet_result.shard_labels:
+        assert_results_identical(
+            object_run.fleet_result.shard(label),
+            columnar_run.fleet_result.shard(label),
+        )
+    assert object_run.summary() == columnar_run.summary()
+
+
+def test_fleet_endurance_rejects_unknown_ingest():
+    with pytest.raises(ExperimentError, match="unknown ingest mode"):
+        run_fleet_endurance_experiment(n_streams=1, ingest="quantum")

@@ -1,0 +1,137 @@
+"""Binary recording sink: bytes on disk match the accounted window bytes.
+
+``MonitorConfig.recording_format="binary"`` routes the recorders through
+:class:`~repro.trace.codec.BinaryTraceCodec`: every recorded window becomes
+one self-describing segment whose *body* bytes equal the window's accounted
+``window_bytes`` (fresh per-window registry, deltas restarting at the
+window), and the whole file round-trips through ``read_trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.analysis.monitor import TraceMonitor
+from repro.analysis.recorder import FullTraceRecorder, SelectiveTraceRecorder
+from repro.config import DetectorConfig, MonitorConfig
+from repro.errors import RecorderError
+from repro.trace.codec import BinaryTraceCodec, encoded_trace_size
+from repro.trace.event import EventTypeRegistry
+from repro.trace.reader import read_trace, read_trace_columns
+from repro.trace.stream import TraceStream, windows_by_duration
+
+from test_property_roundtrip import random_events
+
+
+def walk_segments(data: bytes):
+    """Yield ``(header, body_bytes)`` for every segment of a recorded file."""
+    offset = 0
+    while offset < len(data):
+        assert data[offset : offset + 4] == b"RTRC"
+        (header_len,) = struct.unpack("<I", data[offset + 4 : offset + 8])
+        header = json.loads(data[offset + 8 : offset + 8 + header_len])
+        body_start = offset + 8 + header_len
+        registry = EventTypeRegistry.from_dict(header["registry"])
+        codec = BinaryTraceCodec(registry)
+        offset = body_start
+        previous = 0
+        for _ in range(header["count"]):
+            event, offset = codec.decode_event(data, offset, previous)
+            previous = event.timestamp_us
+        yield header, data[body_start:offset]
+
+
+@pytest.fixture()
+def windows():
+    events = random_events(random.Random(23), 400)
+    return list(windows_by_duration(iter(events), 40_000))
+
+
+def test_rejects_unknown_format():
+    with pytest.raises(RecorderError, match="unknown recording_format"):
+        SelectiveTraceRecorder(recording_format="xml")
+
+
+@pytest.mark.parametrize("context_windows", [0, 2])
+def test_binary_sink_round_trips_via_read_trace(tmp_path, windows, context_windows):
+    path = tmp_path / "recorded.bin"
+    recorder = SelectiveTraceRecorder(
+        context_windows=context_windows,
+        output_path=path,
+        recording_format="binary",
+    )
+    flags = [i % 5 == 0 for i in range(len(windows))]
+    recorder.observe_batch(windows, flags)
+    recorder.close()
+
+    by_index = {window.index: window for window in windows}
+    recorded = [by_index[i] for i in recorder.recorded_indices]
+    expected_events = [event for window in recorded for event in window.events]
+    assert read_trace(path) == expected_events
+    # The columnar reader decodes the segmented file identically.
+    assert read_trace_columns(path).to_events() == tuple(expected_events)
+
+
+def test_binary_sink_body_bytes_equal_accounted_window_bytes(tmp_path, windows):
+    path = tmp_path / "recorded.bin"
+    recorder = SelectiveTraceRecorder(
+        context_windows=1, output_path=path, recording_format="binary"
+    )
+    flags = [i % 4 == 0 for i in range(len(windows))]
+    recorder.observe_batch(windows, flags)
+    recorder.close()
+    report = recorder.report()
+
+    by_index = {window.index: window for window in windows}
+    recorded = [by_index[i] for i in recorder.recorded_indices]
+    accounted = [encoded_trace_size(window.events) for window in recorded]
+    bodies = [body for _, body in walk_segments(path.read_bytes())]
+    # One segment per non-empty recorded window, in recording order, and
+    # each segment body is byte-for-byte the accounted window size.
+    non_empty = [window for window in recorded if window.events]
+    assert len(bodies) == len(non_empty)
+    assert [len(body) for body in bodies] == [
+        encoded_trace_size(window.events) for window in non_empty
+    ]
+    assert sum(len(body) for body in bodies) == sum(accounted) == report.recorded_bytes
+
+
+def test_full_trace_recorder_binary(tmp_path, windows):
+    path = tmp_path / "full.bin"
+    with FullTraceRecorder(output_path=path, recording_format="binary") as recorder:
+        recorder.observe_batch(windows)
+    expected = [event for window in windows for event in window.events]
+    assert read_trace(path) == expected
+    report = recorder.report()
+    bodies = [body for _, body in walk_segments(path.read_bytes())]
+    assert sum(len(body) for body in bodies) == report.recorded_bytes
+
+
+def test_monitor_config_validates_recording_format():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="recording_format"):
+        MonitorConfig(recording_format="csv")
+
+
+def test_monitor_records_binary_when_configured(tmp_path):
+    events = random_events(random.Random(31), 600)
+    detector_config = DetectorConfig(k_neighbours=3, lof_threshold=1.05)
+    monitor_config = MonitorConfig(
+        reference_duration_us=500_000,
+        batch_size=16,
+        recording_format="binary",
+    )
+    monitor = TraceMonitor(detector_config, monitor_config, EventTypeRegistry())
+    path = tmp_path / "monitored.bin"
+    result = monitor.run_on_stream(TraceStream(iter(events)), output_path=path)
+    assert result.n_anomalous > 0 and result.report.recorded_bytes > 0
+    assert path.read_bytes()[:4] == b"RTRC"
+    recorded = read_trace(path)
+    bodies = [body for _, body in walk_segments(path.read_bytes())]
+    assert sum(len(body) for body in bodies) == result.report.recorded_bytes
+    assert len(recorded) == result.report.recorded_events

@@ -1,0 +1,384 @@
+"""Columnar ingest plane: decode, windowing and byte-accounting equivalence.
+
+The columnar plane advertises *bit-identity* with the object path at every
+stage: ``decode_columns`` reproduces the object decoders, the array-native
+windowing reproduces ``windows_by_duration`` / ``windows_by_count`` (incl.
+the PR 3 duplicate-boundary-timestamp semantics), the vectorized byte
+accounting reproduces ``encoded_window_sizes``, and the lazy batches
+reproduce ``batch_windows`` column by column.  Seeded random streams (same
+generator as the codec round-trip property suite) drive every assertion.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, TraceStreamError
+from repro.trace.batch import LazyWindowRef, WindowBatch, batch_windows
+from repro.trace.codec import (
+    BinaryTraceCodec,
+    JsonTraceCodec,
+    encoded_window_sizes,
+)
+from repro.trace.columns import (
+    TraceColumns,
+    decode_binary_columns,
+    decode_json_columns,
+    encoded_window_sizes_columns,
+    varint_size_array,
+)
+from repro.trace.codec import _varint_size
+from repro.trace.event import EventTypeRegistry, TraceEvent
+from repro.trace.pipeline import prefetch_batches
+from repro.trace.stream import (
+    column_windows_by_count,
+    column_windows_by_duration,
+    iter_column_batches,
+    materialize_layout_windows,
+    windows_by_count,
+    windows_by_duration,
+)
+
+from test_property_roundtrip import random_events
+
+SEEDS = range(8)
+
+WINDOW_US = 40_000
+
+
+def columns_variants(events):
+    """The three columnar sources for one event list, all equivalent."""
+    binary = decode_binary_columns(BinaryTraceCodec().encode(events))
+    jsonl = decode_json_columns(JsonTraceCodec().encode(events) + "\n")
+    memory = TraceColumns.from_events(events)
+    return {"binary": binary, "jsonl": jsonl, "events": memory}
+
+
+# ---------------------------------------------------------------------- #
+# Decode equivalence
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_decode_columns_equals_object_decode(seed):
+    events = random_events(random.Random(seed), 300)
+    for kind, columns in columns_variants(events).items():
+        assert columns.source_kind == kind
+        assert len(columns) == len(events)
+        assert columns.timestamps_us.tolist() == [e.timestamp_us for e in events]
+        assert columns.cores.tolist() == [e.core for e in events]
+        names = [columns.type_names[c] for c in columns.type_codes]
+        assert names == [e.etype for e in events]
+        # Full lazy materialisation reproduces the object decode exactly.
+        assert columns.to_events() == tuple(events)
+        # Partial slices too (the recorder's actual access pattern).
+        assert columns.events(10, 25) == tuple(events[10:25])
+        assert columns.events(0, 0) == ()
+
+
+def test_decode_columns_empty_inputs():
+    assert len(decode_json_columns("")) == 0
+    assert len(decode_json_columns("\n\n  \n")) == 0
+    blob = BinaryTraceCodec().encode([])
+    assert len(decode_binary_columns(blob)) == 0
+    assert len(TraceColumns.from_events([])) == 0
+
+
+def test_decode_binary_columns_multi_segment():
+    rng = random.Random(42)
+    first, second = random_events(rng, 80), random_events(rng, 50)
+    blob = BinaryTraceCodec().encode(first) + BinaryTraceCodec().encode(second)
+    columns = decode_binary_columns(blob)
+    assert columns.to_events() == tuple(first + second)
+    assert BinaryTraceCodec().decode(blob) == first + second
+
+
+def test_decode_binary_columns_rejects_garbage():
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        decode_binary_columns(b"nope")
+    blob = BinaryTraceCodec().encode(random_events(random.Random(1), 10))
+    with pytest.raises(TraceFormatError, match="trailing bytes"):
+        decode_binary_columns(blob + b"junk")
+    with pytest.raises(TraceFormatError, match="truncated"):
+        decode_binary_columns(blob[:-3])
+
+
+def test_decode_json_columns_rejects_malformed_lines():
+    with pytest.raises(TraceFormatError, match="malformed JSON event line"):
+        decode_json_columns('{"t": 1,\n')
+    with pytest.raises(TraceFormatError, match="malformed event record"):
+        decode_json_columns('{"type": "x"}\n')  # missing timestamp
+    with pytest.raises(TraceFormatError, match="negative timestamp"):
+        decode_json_columns('{"t": -4, "type": "x"}\n')
+
+
+# ---------------------------------------------------------------------- #
+# Array-native windowing equivalence
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("emit_empty", [True, False])
+def test_duration_windowing_matches_object_path(seed, emit_empty):
+    events = random_events(random.Random(seed), 250)
+    expected = list(
+        windows_by_duration(iter(events), WINDOW_US, emit_empty=emit_empty)
+    )
+    for columns in columns_variants(events).values():
+        layout = column_windows_by_duration(
+            columns, WINDOW_US, emit_empty=emit_empty
+        )
+        assert layout.n_windows == len(expected)
+        assert (
+            materialize_layout_windows(columns, layout, 0, layout.n_windows)
+            == expected
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("events_per_window", [1, 3, 32, 1000])
+def test_count_windowing_matches_object_path(seed, events_per_window):
+    events = random_events(random.Random(seed), 200)
+    expected = list(windows_by_count(iter(events), events_per_window))
+    for columns in columns_variants(events).values():
+        layout = column_windows_by_count(columns, events_per_window)
+        assert layout.n_windows == len(expected)
+        assert (
+            materialize_layout_windows(columns, layout, 0, layout.n_windows)
+            == expected
+        )
+
+
+def test_count_windowing_duplicate_boundary_timestamps():
+    """The PR 3 semantics: several events sharing the boundary timestamp."""
+    events = [
+        TraceEvent(timestamp_us=t, etype="alpha")
+        for t in [5, 5, 5, 5, 5, 9, 9, 12]
+    ]
+    expected = list(windows_by_count(iter(events), 2))
+    columns = TraceColumns.from_events(events)
+    layout = column_windows_by_count(columns, 2)
+    produced = materialize_layout_windows(columns, layout, 0, layout.n_windows)
+    assert produced == expected
+    # The second window starts *at* the duplicated boundary timestamp.
+    assert produced[1].start_us == 5
+
+
+def test_duration_windowing_empty_columns():
+    columns = TraceColumns.from_events([])
+    layout = column_windows_by_duration(columns, WINDOW_US)
+    windows = materialize_layout_windows(columns, layout, 0, layout.n_windows)
+    assert windows == list(windows_by_duration(iter([]), WINDOW_US))
+    assert column_windows_by_duration(columns, WINDOW_US, emit_empty=False).n_windows == 0
+    assert column_windows_by_count(columns, 8).n_windows == 0
+
+
+def test_column_windowing_validates_input():
+    unsorted = TraceColumns.from_events(
+        [
+            TraceEvent(timestamp_us=10, etype="a"),
+            TraceEvent(timestamp_us=3, etype="a"),
+        ]
+    )
+    with pytest.raises(TraceStreamError, match="not sorted"):
+        column_windows_by_duration(unsorted, WINDOW_US)
+    with pytest.raises(TraceStreamError, match="not sorted"):
+        column_windows_by_count(unsorted, 4)
+    early = TraceColumns.from_events([TraceEvent(timestamp_us=2, etype="a")])
+    with pytest.raises(TraceStreamError, match="precedes stream start"):
+        column_windows_by_duration(early, WINDOW_US, start_us=100)
+    with pytest.raises(TraceStreamError, match="must be positive"):
+        column_windows_by_duration(early, 0)
+    with pytest.raises(TraceStreamError, match="must be positive"):
+        column_windows_by_count(early, 0)
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized byte accounting
+# ---------------------------------------------------------------------- #
+def test_varint_size_array_matches_scalar():
+    values = np.array(
+        [0, 1, 127, 128, 300, 2**14 - 1, 2**14, 2**40, 2**62], dtype=np.int64
+    )
+    assert varint_size_array(values).tolist() == [_varint_size(int(v)) for v in values]
+    with pytest.raises(TraceFormatError, match="negative"):
+        varint_size_array(np.array([-1]))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_window_sizes_match_codec_accounting(seed):
+    events = random_events(random.Random(seed), 300)
+    expected_windows = list(windows_by_duration(iter(events), WINDOW_US))
+    expected = encoded_window_sizes(expected_windows)
+    for columns in columns_variants(events).values():
+        layout = column_windows_by_duration(columns, WINDOW_US)
+        sizes = encoded_window_sizes_columns(columns, layout.event_offsets)
+        assert sizes.tolist() == expected
+
+
+def test_window_sizes_many_event_types_slow_path():
+    """> 128 distinct types forces per-window code ranks (2-byte varints)."""
+    events = [
+        TraceEvent(timestamp_us=i * 7, etype=f"type-{i % 200:03d}")
+        for i in range(400)
+    ]
+    columns = TraceColumns.from_events(events)
+    assert len(columns.type_names) == 200
+    layout = column_windows_by_count(columns, 150)
+    windows = materialize_layout_windows(columns, layout, 0, layout.n_windows)
+    assert (
+        encoded_window_sizes_columns(columns, layout.event_offsets).tolist()
+        == encoded_window_sizes(windows)
+    )
+
+
+def test_window_sizes_reject_out_of_range_core():
+    events = [TraceEvent(timestamp_us=1, etype="a", core=300)]
+    columns = TraceColumns.from_events(events)
+    layout = column_windows_by_count(columns, 1)
+    with pytest.raises(TraceFormatError, match="1-byte core field"):
+        encoded_window_sizes_columns(columns, layout.event_offsets)
+
+
+# ---------------------------------------------------------------------- #
+# Columnar batches vs object batches
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+def test_column_batches_match_object_batches(seed, batch_size):
+    events = random_events(random.Random(seed), 260)
+    windows = list(windows_by_duration(iter(events), WINDOW_US))
+    for columns in columns_variants(events).values():
+        registry_obj = EventTypeRegistry(["alpha", "beta"])
+        registry_col = EventTypeRegistry(["alpha", "beta"])
+        expected = list(batch_windows(iter(windows), registry_obj, batch_size))
+        produced = list(
+            iter_column_batches(
+                columns,
+                registry_col,
+                batch_size=batch_size,
+                window_duration_us=WINDOW_US,
+            )
+        )
+        assert len(produced) == len(expected)
+        for have, want in zip(produced, expected):
+            assert np.array_equal(have.codes, want.codes)
+            assert np.array_equal(have.offsets, want.offsets)
+            assert np.array_equal(have.indices, want.indices)
+            assert np.array_equal(have.start_us, want.start_us)
+            assert np.array_equal(have.end_us, want.end_us)
+            assert np.array_equal(have.dims, want.dims)
+            assert have.dimension == want.dimension
+            assert have.window_sizes() == want.window_sizes()
+            assert have.to_windows() == want.to_windows()
+        # The registry grew identically (same names, same order).
+        assert registry_col.names == registry_obj.names
+
+
+def test_column_batches_skip_reference_prefix():
+    events = random_events(random.Random(5), 300)
+    columns = TraceColumns.from_events(events)
+    registry = EventTypeRegistry()
+    layout = column_windows_by_duration(columns, WINDOW_US)
+    skip = layout.n_windows // 2
+    batches = list(
+        iter_column_batches(
+            columns,
+            registry,
+            batch_size=8,
+            window_duration_us=WINDOW_US,
+            first_window=skip,
+        )
+    )
+    produced = [w for batch in batches for w in batch.to_windows()]
+    # Window indices continue where the skipped prefix stopped.
+    assert [w.index for w in produced] == list(range(skip, layout.n_windows))
+
+
+def test_lazy_window_refs_defer_materialisation():
+    events = random_events(random.Random(9), 150)
+    columns = TraceColumns.from_events(events)
+    registry = EventTypeRegistry()
+    (batch,) = iter_column_batches(
+        columns, registry, batch_size=10_000, window_duration_us=WINDOW_US
+    )
+    refs = batch.window_refs()
+    assert all(isinstance(ref, LazyWindowRef) for ref in refs)
+    windows = list(windows_by_duration(iter(events), WINDOW_US))
+    for ref, window in zip(refs, windows):
+        assert ref.index == window.index
+        assert ref.start_us == window.start_us
+        assert ref.end_us == window.end_us
+        assert len(ref) == len(window)
+    # Nothing materialised yet.
+    assert batch._lazy_cache is None
+    resolved = refs[3].resolve()
+    assert resolved == windows[3]
+    # The resolution is cached batch-side.
+    assert batch.window(3) is resolved
+    assert refs[5].events == windows[5].events
+    assert batch.can_materialize and not batch.has_windows
+
+
+def test_batch_without_windows_or_factory_still_raises():
+    batch = WindowBatch(
+        codes=np.array([0, 1], dtype=np.int32),
+        offsets=np.array([0, 2], dtype=np.int64),
+        indices=np.array([0], dtype=np.int64),
+        start_us=np.array([0], dtype=np.int64),
+        end_us=np.array([10], dtype=np.int64),
+    )
+    with pytest.raises(TraceStreamError, match="without its source windows"):
+        batch.to_windows()
+    with pytest.raises(TraceStreamError, match="without its source windows"):
+        batch.window_refs()
+    assert not batch.can_materialize
+
+
+def test_prefetch_batches_preserves_order_and_errors():
+    assert list(prefetch_batches(iter(range(50)), 4)) == list(range(50))
+    assert list(prefetch_batches(iter(range(5)), 0)) == list(range(5))
+
+    def failing():
+        yield from range(3)
+        raise ValueError("producer exploded")
+
+    consumed = []
+    with pytest.raises(ValueError, match="producer exploded"):
+        for item in prefetch_batches(failing(), 2):
+            consumed.append(item)
+    assert consumed == [0, 1, 2]
+
+
+def test_prefetch_batches_abandoned_consumer_stops_producer():
+    iterator = prefetch_batches(iter(range(10_000)), 2)
+    assert next(iterator) == 0
+    iterator.close()  # must not hang or leak the producer thread
+
+
+@pytest.mark.parametrize("seed", [3])
+def test_trace_columns_pickle_round_trip(seed):
+    """Spawn-only platforms ship columns through the pickle queue."""
+    import pickle
+
+    events = random_events(random.Random(seed), 120)
+    for columns in columns_variants(events).values():
+        clone = pickle.loads(pickle.dumps(columns, pickle.HIGHEST_PROTOCOL))
+        assert clone.to_events() == tuple(events)
+        assert clone.timestamps_us.tolist() == columns.timestamps_us.tolist()
+        assert clone.static_sizes.tolist() == columns.static_sizes.tolist()
+        assert clone.type_names == columns.type_names
+
+
+def test_lazy_binary_materialisation_wraps_corrupt_payload():
+    """A corrupt payload surfaces as TraceFormatError at materialisation,
+    matching the object decoder's read-time error."""
+    event = TraceEvent(timestamp_us=7, etype="alpha", args={"k": 1})
+    blob = BinaryTraceCodec().encode([event])
+    payload = b'{"k":1}'
+    position = blob.rindex(payload)
+    corrupt = blob[:position] + b'{"k":!}' + blob[position + len(payload):]
+    with pytest.raises(TraceFormatError, match="malformed event payload"):
+        BinaryTraceCodec().decode(corrupt)
+    columns = decode_binary_columns(corrupt)  # length-skips the payload
+    with pytest.raises(TraceFormatError, match="malformed event payload"):
+        columns.events(0, 1)

@@ -1,0 +1,134 @@
+"""Reader format detection and the columnar file entry points.
+
+Regression coverage for the ``_detect_format`` fixes (empty and truncated
+files used to raise ``IndexError`` or silently misdetect as empty JSON
+traces) plus the behaviour of ``read_trace_columns`` /
+``iter_window_batches`` against both codecs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.codec import BinaryTraceCodec
+from repro.trace.event import EventTypeRegistry
+from repro.trace.reader import (
+    iter_trace_file,
+    iter_window_batches,
+    read_trace,
+    read_trace_columns,
+)
+from repro.trace.stream import windows_by_duration
+from repro.trace.writer import write_trace
+
+from test_property_roundtrip import random_events
+
+
+@pytest.fixture()
+def events():
+    return random_events(random.Random(17), 200)
+
+
+# ---------------------------------------------------------------------- #
+# _detect_format hardening
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "reader", [read_trace, read_trace_columns, lambda p: list(iter_trace_file(p))]
+)
+def test_empty_file_raises_clear_error_naming_path(tmp_path, reader):
+    path = tmp_path / "empty.jsonl"
+    path.write_bytes(b"")
+    with pytest.raises(TraceFormatError, match="empty trace file") as excinfo:
+        reader(path)
+    assert str(path) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("reader", [read_trace, read_trace_columns])
+@pytest.mark.parametrize("head", [b"R", b"RT", b"RTR"])
+def test_partial_magic_prefix_raises_truncation_error(tmp_path, reader, head):
+    path = tmp_path / "trunc.bin"
+    path.write_bytes(head)
+    with pytest.raises(TraceFormatError, match="truncated trace file") as excinfo:
+        reader(path)
+    assert str(path) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("reader", [read_trace, read_trace_columns])
+@pytest.mark.parametrize("cut", [5, 10, 40])
+def test_truncated_binary_trace_raises_clear_error(tmp_path, events, reader, cut):
+    blob = BinaryTraceCodec().encode(events)
+    path = tmp_path / "cut.bin"
+    path.write_bytes(blob[:cut] if cut <= 10 else blob[:-cut])
+    with pytest.raises(TraceFormatError, match="truncated|malformed") as excinfo:
+        reader(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_truncated_json_trace_raises_clear_error(tmp_path, events):
+    path = tmp_path / "cut.jsonl"
+    text = "\n".join(
+        line for line in write_trace(events, tmp_path / "full.jsonl").read_text().splitlines()
+    )
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(TraceFormatError, match="malformed"):
+        read_trace(path)
+    with pytest.raises(TraceFormatError, match="malformed") as excinfo:
+        read_trace_columns(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_missing_file_raises(tmp_path):
+    for reader in (read_trace, read_trace_columns):
+        with pytest.raises(TraceFormatError, match="does not exist"):
+            reader(tmp_path / "nope.jsonl")
+
+
+# ---------------------------------------------------------------------- #
+# Columnar file entry points
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("fmt,name", [("jsonl", "t.jsonl"), ("binary", "t.bin")])
+def test_read_trace_columns_equals_read_trace(tmp_path, events, fmt, name):
+    path = write_trace(events, tmp_path / name, fmt=fmt)
+    columns = read_trace_columns(path)
+    assert columns.source_kind == fmt
+    assert columns.to_events() == tuple(read_trace(path))
+
+
+@pytest.mark.parametrize("prefetch", [0, 3])
+@pytest.mark.parametrize("fmt,name", [("jsonl", "t.jsonl"), ("binary", "t.bin")])
+def test_iter_window_batches_matches_object_windows(
+    tmp_path, events, fmt, name, prefetch
+):
+    path = write_trace(events, tmp_path / name, fmt=fmt)
+    expected = list(windows_by_duration(iter(events), 40_000))
+    batches = list(
+        iter_window_batches(
+            path, EventTypeRegistry(), batch_size=16, prefetch=prefetch
+        )
+    )
+    produced = [w for batch in batches for w in batch.to_windows()]
+    assert produced == expected
+    assert all(len(batch) <= 16 for batch in batches)
+    sizes = [s for batch in batches for s in batch.window_sizes()]
+    from repro.trace.codec import encoded_window_sizes
+
+    assert sizes == encoded_window_sizes(expected)
+
+
+def test_iter_window_batches_default_registry(tmp_path, events):
+    path = write_trace(events, tmp_path / "t.jsonl", fmt="jsonl")
+    batches = list(iter_window_batches(path))
+    assert sum(len(b) for b in batches) == len(
+        list(windows_by_duration(iter(events), 40_000))
+    )
+
+
+def test_iter_window_batches_propagates_decode_errors(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(TraceFormatError, match="malformed"):
+        list(iter_window_batches(path, EventTypeRegistry(), prefetch=2))
