@@ -29,6 +29,7 @@ THROUGHPUT_BENCHMARKS = [
     "benchmarks/test_bench_throughput_batched.py",
     "benchmarks/test_bench_fleet.py",
     "benchmarks/test_bench_ingest.py",
+    "benchmarks/test_bench_knn.py",
 ]
 
 
@@ -52,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated worker counts for the fleet worker sweep "
         "(sets REPRO_BENCH_FLEET_WORKERS; default: the bench's 1,2,4)",
     )
+    parser.add_argument(
+        "--knn-backend",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="comma-separated indexed k-NN backends to time in the knn sweep "
+        "(sets REPRO_BENCH_KNN_BACKENDS; default: the bench's balltree,grid)",
+    )
     args, passthrough = parser.parse_known_args(argv)
     if passthrough and passthrough[0] == "--":
         passthrough = passthrough[1:]
@@ -73,6 +81,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.fleet_workers is not None:
         env["REPRO_BENCH_FLEET_WORKERS"] = args.fleet_workers
+    if args.knn_backend is not None:
+        env["REPRO_BENCH_KNN_BACKENDS"] = args.knn_backend
     print("+", " ".join(command))
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 

@@ -28,29 +28,46 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ModelError, NotFittedError
-from .knn import BruteForceKnn, KdTreeKnn, KnnIndex
+from .knn import (
+    KNN_BACKENDS,
+    BruteForceKnn,
+    BallTreeKnn,
+    GridSimplexKnn,
+    KdTreeKnn,
+    KnnIndex,
+    make_index,
+)
 
 __all__ = ["LocalOutlierFactor"]
 
 _EPSILON = 1e-12
 
+_INDEX_KINDS = {
+    BruteForceKnn: "brute",
+    KdTreeKnn: "kdtree",
+    GridSimplexKnn: "grid",
+    BallTreeKnn: "balltree",
+}
+
 
 class LocalOutlierFactor:
-    """Local Outlier Factor scorer over a fixed reference point set.
+    """Local Outlier Factor scorer over a growable reference point set.
 
     Parameters
     ----------
     k_neighbours:
         Number of neighbours (``K`` in the paper; its experiment uses 20).
     index_kind:
-        ``"brute"`` (default) or ``"kdtree"``; both are exact, see
-        :mod:`repro.analysis.knn`.
+        One of the :data:`~repro.analysis.knn.KNN_BACKENDS` names or
+        ``"auto"`` (brute force below the crossover reference size, blocked
+        ball tree above it).  Every backend is exact and returns
+        bit-identical scores, see :mod:`repro.analysis.knn`.
     """
 
     def __init__(self, k_neighbours: int = 20, index_kind: str = "brute") -> None:
         if k_neighbours < 1:
             raise ModelError("k_neighbours must be >= 1")
-        if index_kind not in {"brute", "kdtree"}:
+        if index_kind != "auto" and index_kind not in KNN_BACKENDS:
             raise ModelError(f"unknown index kind: {index_kind!r}")
         self.k_neighbours = int(k_neighbours)
         self.index_kind = index_kind
@@ -72,10 +89,31 @@ class LocalOutlierFactor:
                 f"need more than k_neighbours={self.k_neighbours} reference points, "
                 f"got {len(points)}"
             )
-        index_cls = BruteForceKnn if self.index_kind == "brute" else KdTreeKnn
-        self._index = index_cls(points)
+        self._index = make_index(self.index_kind, points)
+        self._finalise_fit()
+        return self
 
-        n = len(points)
+    def partial_fit(self, new_points: np.ndarray) -> "LocalOutlierFactor":
+        """Absorb additional reference points into the fitted model.
+
+        The index grows incrementally (no rebuild for the backends that
+        support it) and the LOF quantities — k-distances, local reachability
+        densities, training scores — are recomputed over the combined point
+        set, so scoring behaves exactly as if :meth:`fit` had been called on
+        all points at once.
+        """
+        index = self._require_fitted()
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=float))
+        if new_points.size == 0:
+            return self
+        index.add_points(new_points)
+        self._finalise_fit()
+        return self
+
+    def _finalise_fit(self) -> None:
+        """(Re)compute the per-reference-point LOF quantities."""
+        assert self._index is not None
+        points = self._index.points
         k = self.k_neighbours
         # Ask for k + 1 because the point itself (distance 0) is usually among
         # the returned neighbours when querying with a fitted point.  With
@@ -96,7 +134,6 @@ class LocalOutlierFactor:
         # basis for contamination-style threshold calibration).
         neighbour_lrd = self._lrd[neighbour_indices]
         self._training_scores = neighbour_lrd.mean(axis=1) / np.maximum(self._lrd, _EPSILON)
-        return self
 
     def _drop_self_neighbours(
         self,
@@ -152,6 +189,16 @@ class LocalOutlierFactor:
     def n_reference_points(self) -> int:
         """Number of reference points the model was fitted on."""
         return self._require_fitted().n_points
+
+    @property
+    def resolved_index_kind(self) -> str:
+        """Concrete backend in use (resolves what ``"auto"`` picked)."""
+        return _INDEX_KINDS[type(self._require_fitted())]
+
+    @property
+    def reference_points(self) -> np.ndarray:
+        """The fitted reference points, including any added incrementally."""
+        return self._require_fitted().points.copy()
 
     @property
     def training_scores(self) -> np.ndarray:

@@ -10,7 +10,9 @@ online detector's running past pmf.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import pickle
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -97,7 +99,13 @@ class ReferenceModel:
         containing new event types are still scorable — their extra mass
         simply falls outside the reference support, pushing them away from
         the reference points, which is the desired behaviour.
+
+        Calling :meth:`learn` again on a fitted model routes the windows into
+        :meth:`adapt` — the running index absorbs them incrementally instead
+        of being refit from scratch.
         """
+        if self.is_fitted:
+            return self.adapt(windows, registry)
         usable: list[TraceWindow] = []
         for window in windows:
             self._n_windows_seen += 1
@@ -133,6 +141,91 @@ class ReferenceModel:
             k_neighbours=self.k_neighbours, index_kind=self.index_kind
         ).fit(points)
         return self
+
+    def adapt(
+        self, windows: Iterable[TraceWindow], registry: EventTypeRegistry
+    ) -> "ReferenceModel":
+        """Absorb post-fit windows into the running model (online adaptation).
+
+        The windows are projected onto the model's frozen point space (event
+        types unknown to the model keep their mass outside the reference
+        support, exactly as during scoring) and handed to the fitted index's
+        incremental ``add_points`` path — no refit-and-redeploy.  Scoring
+        after :meth:`adapt` is identical to a from-scratch fit over the
+        combined point set.
+        """
+        self._require_fitted()
+        assert self._points is not None and self._mean_pmf_counts is not None
+        usable: list[TraceWindow] = []
+        for window in windows:
+            self._n_windows_seen += 1
+            if len(window) < max(self.min_events_per_window, 1):
+                continue
+            usable.append(window)
+        if not usable:
+            return self
+        batch = WindowBatch.from_windows(usable, registry, keep_windows=False)
+        counts_matrix = pmf_matrix(batch, registry)
+        totals = counts_matrix.sum(axis=1)
+        probability_rows = counts_matrix / totals[:, None]
+        vectors = self.vectors_for(probability_rows, registry)
+        # Keep the seeded past pmf a running average over every window the
+        # model has absorbed (projected onto the model space).
+        new_counts = self.vectors_for(
+            counts_matrix.sum(axis=0)[None, :] / len(usable), registry
+        )[0]
+        n_old = self._n_windows_used
+        self._mean_pmf_counts = (
+            self._mean_pmf_counts * n_old + new_counts * len(usable)
+        ) / (n_old + len(usable))
+        self._n_windows_used = n_old + len(usable)
+        if self.deduplicate:
+            # Mirror the learning-time deduplication: collapse duplicates
+            # within the batch and drop points already in the reference set.
+            vectors = np.unique(np.round(vectors, decimals=9), axis=0)
+            existing = {row.tobytes() for row in np.round(self._points, decimals=9)}
+            keep = [row for row in vectors if row.tobytes() not in existing]
+            if not keep:
+                return self
+            vectors = np.asarray(keep)
+        assert self._lof is not None
+        self._lof.partial_fit(vectors)
+        self._points = np.vstack([self._points, vectors])
+        return self
+
+    def reindex(self, index_kind: str) -> "ReferenceModel":
+        """Swap the fitted model onto a different k-NN backend.
+
+        Every backend is exact and bit-identical, so this changes only the
+        speed profile.  No-op when the requested kind is already in use.
+        """
+        self._require_fitted()
+        if index_kind == self.index_kind:
+            return self
+        assert self._points is not None
+        self.index_kind = index_kind
+        self._lof = LocalOutlierFactor(
+            k_neighbours=self.k_neighbours, index_kind=index_kind
+        ).fit(self._points)
+        return self
+
+    def fingerprint(self) -> dict:
+        """Identity of the fitted model: dims, point count, registry hash.
+
+        Stored in the reference-database catalogue and checked on load, so a
+        stale catalogue entry fails loudly instead of silently scoring with
+        the wrong model.
+        """
+        self._require_fitted()
+        assert self._points is not None and self._type_names is not None
+        registry_hash = hashlib.sha256(
+            "\x00".join(self._type_names).encode("utf-8")
+        ).hexdigest()[:16]
+        return {
+            "dimension": self.dimension,
+            "n_points": int(len(self._points)),
+            "type_registry_hash": registry_hash,
+        }
 
     @classmethod
     def from_points(
@@ -309,8 +402,15 @@ class ReferenceModel:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> Path:
-        """Save the model (point set + metadata) to ``path`` as ``.npz``."""
+    def save(self, path: str | Path, include_index: bool = True) -> Path:
+        """Save the model (point set + metadata) to ``path`` as ``.npz``.
+
+        With ``include_index`` (the default) the fitted LOF — including its
+        built k-NN index — is pickled into the archive, so :meth:`load` can
+        restore the model without re-running the index build.  Pass
+        ``include_index=False`` for a smaller, pickle-free file; loading then
+        refits from the stored points (bit-identical scores either way).
+        """
         self._require_fitted()
         assert self._points is not None and self._mean_pmf_counts is not None
         path = Path(path)
@@ -322,12 +422,18 @@ class ReferenceModel:
             "n_windows_seen": self._n_windows_seen,
             "n_windows_used": self._n_windows_used,
         }
-        np.savez_compressed(
-            path,
-            points=self._points,
-            mean_counts=self._mean_pmf_counts,
-            metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
-        )
+        arrays: dict[str, np.ndarray] = {
+            "points": self._points,
+            "mean_counts": self._mean_pmf_counts,
+            "metadata": np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        if include_index:
+            arrays["lof_state"] = np.frombuffer(
+                pickle.dumps(self._lof), dtype=np.uint8
+            )
+        np.savez_compressed(path, **arrays)
         return path
 
     @classmethod
@@ -341,14 +447,36 @@ class ReferenceModel:
                 metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
                 points = np.asarray(data["points"], dtype=float)
                 mean_counts = np.asarray(data["mean_counts"], dtype=float)
+                lof_blob = bytes(data["lof_state"]) if "lof_state" in data else None
             except (KeyError, json.JSONDecodeError) as exc:
                 raise ModelError(f"malformed reference model file: {path}") from exc
-        model = cls.from_points(
-            points,
-            metadata["type_names"],
-            k_neighbours=int(metadata["k_neighbours"]),
-            index_kind=str(metadata.get("index_kind", "brute")),
-        )
+        if lof_blob is not None:
+            try:
+                lof = pickle.loads(lof_blob)
+            except Exception as exc:
+                raise ModelError(
+                    f"malformed fitted-index payload in model file: {path}"
+                ) from exc
+            if not isinstance(lof, LocalOutlierFactor) or not lof.is_fitted:
+                raise ModelError(
+                    f"model file {path} does not hold a fitted LOF index"
+                )
+            model = cls(
+                k_neighbours=int(metadata["k_neighbours"]),
+                index_kind=str(metadata.get("index_kind", "brute")),
+            )
+            model._type_names = tuple(
+                str(name) for name in metadata["type_names"]
+            )
+            model._points = points
+            model._lof = lof
+        else:
+            model = cls.from_points(
+                points,
+                metadata["type_names"],
+                k_neighbours=int(metadata["k_neighbours"]),
+                index_kind=str(metadata.get("index_kind", "brute")),
+            )
         model._mean_pmf_counts = mean_counts
         model._n_windows_seen = int(metadata.get("n_windows_seen", len(points)))
         model._n_windows_used = int(metadata.get("n_windows_used", len(points)))

@@ -235,7 +235,10 @@ class TraceMonitor:
     # ------------------------------------------------------------------ #
     def learn_reference(self, windows: Iterable[TraceWindow]) -> ReferenceModel:
         """Learn a reference model from the given windows."""
-        model = ReferenceModel(k_neighbours=self.detector_config.k_neighbours)
+        model = ReferenceModel(
+            k_neighbours=self.detector_config.k_neighbours,
+            index_kind=self.monitor_config.knn_backend,
+        )
         model.learn(windows, self.registry)
         _LOGGER.info(
             "learned reference model from %d windows (%d usable)",

@@ -33,27 +33,33 @@ class ReferenceEntry:
     description: str = ""
     tags: tuple[str, ...] = ()
     metadata: Mapping[str, Any] = field(default_factory=dict)
+    fingerprint: Mapping[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form of the entry."""
-        return {
+        payload = {
             "name": self.name,
             "filename": self.filename,
             "description": self.description,
             "tags": list(self.tags),
             "metadata": dict(self.metadata),
         }
+        if self.fingerprint is not None:
+            payload["fingerprint"] = dict(self.fingerprint)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ReferenceEntry":
         """Rebuild an entry from :meth:`to_dict` output."""
         try:
+            fingerprint = data.get("fingerprint")
             return cls(
                 name=str(data["name"]),
                 filename=str(data["filename"]),
                 description=str(data.get("description", "")),
                 tags=tuple(str(tag) for tag in data.get("tags", [])),
                 metadata=dict(data.get("metadata", {})),
+                fingerprint=dict(fingerprint) if fingerprint is not None else None,
             )
         except KeyError as exc:
             raise ModelError(f"malformed reference catalogue entry: {data!r}") from exc
@@ -132,17 +138,35 @@ class ReferenceDatabase:
             description=description,
             tags=tags,
             metadata=dict(metadata or {}),
+            fingerprint=model.fingerprint(),
         )
         self._entries[name] = entry
         self._save_catalog()
         return entry
 
     def get(self, name: str) -> ReferenceModel:
-        """Load and return the model stored under ``name``."""
+        """Load and return the model stored under ``name``.
+
+        The loaded model's fingerprint (dims, point count, event-type
+        registry hash) is checked against the catalogue entry; a mismatch —
+        e.g. a model file replaced on disk behind the catalogue's back —
+        raises :class:`~repro.errors.ModelError` naming the entry instead of
+        silently scoring with a stale model.
+        """
         entry = self._entries.get(name)
         if entry is None:
             raise ModelError(f"no reference model named {name!r} in {self.root}")
-        return ReferenceModel.load(self.root / entry.filename)
+        model = ReferenceModel.load(self.root / entry.filename)
+        if entry.fingerprint is not None:
+            actual = model.fingerprint()
+            if dict(entry.fingerprint) != actual:
+                raise ModelError(
+                    f"reference model {name!r} does not match its catalogue "
+                    f"fingerprint (catalogue {dict(entry.fingerprint)!r}, "
+                    f"file {actual!r}); the stored file is stale or was "
+                    "replaced — re-add the model to refresh the catalogue"
+                )
+        return model
 
     def entry(self, name: str) -> ReferenceEntry:
         """Return the catalogue entry for ``name``."""

@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--window-ms", type=float, default=40.0)
     learn.add_argument("--k", type=int, default=20)
     learn.add_argument("--model", type=Path, required=True, help="output model file (.npz)")
+    learn.add_argument(
+        "--knn-backend",
+        choices=["auto", "brute", "kdtree", "grid", "balltree"],
+        default=None,
+        help="k-NN index for reference scoring (default auto: brute force "
+        "below the crossover reference size, ball tree above; every backend "
+        "is exact and bit-identical)",
+    )
 
     monitor = subparsers.add_parser("monitor", help="monitor a trace with a learned model")
     monitor.add_argument("trace", type=Path)
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "accounted window bytes exactly)",
     )
     monitor.add_argument("--output", type=Path, default=None, help="recorded trace output")
+    monitor.add_argument(
+        "--knn-backend",
+        choices=["auto", "brute", "kdtree", "grid", "balltree"],
+        default=None,
+        help="k-NN index for reference scoring (default auto; a loaded "
+        "--model is reindexed when the flag is given explicitly; every "
+        "backend is exact and bit-identical)",
+    )
 
     fleet = subparsers.add_parser(
         "fleet", help="monitor several traces as one sharded fleet"
@@ -153,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--output-dir", type=Path, default=None, help="record each shard here"
+    )
+    fleet.add_argument(
+        "--knn-backend",
+        choices=["auto", "brute", "kdtree", "grid", "balltree"],
+        default=None,
+        help="k-NN index for reference scoring (default auto; a loaded "
+        "--model is reindexed when the flag is given explicitly; every "
+        "backend is exact and bit-identical)",
     )
 
     experiment = subparsers.add_parser(
@@ -247,6 +271,7 @@ def _monitor_configs(args: argparse.Namespace) -> tuple[DetectorConfig, MonitorC
         reference_duration_us=int(args.reference_s * 1e6),
         batch_size=getattr(args, "batch_size", 1),
         recording_format=getattr(args, "recording_format", "jsonl"),
+        knn_backend=getattr(args, "knn_backend", None) or "auto",
     )
     return detector, monitor
 
@@ -283,6 +308,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     registry = EventTypeRegistry.with_default_types()
     monitor = TraceMonitor(detector_config, monitor_config, registry)
     model = ReferenceModel.load(args.model) if args.model else None
+    if model is not None and args.knn_backend is not None:
+        model.reindex(args.knn_backend)
     if args.ingest == "columnar":
         # Default path: file bytes -> flat arrays -> lazy WindowBatches,
         # with decode/batch construction overlapped with scoring.
@@ -339,6 +366,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         recording_format=args.recording_format,
         fleet_workers=args.workers,
+        knn_backend=args.knn_backend or "auto",
     )
     registry = EventTypeRegistry.with_default_types()
     labels = _shard_labels(args.traces)
@@ -394,6 +422,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     if args.model is not None:
         model = ReferenceModel.load(args.model)
+        if args.knn_backend is not None:
+            model.reindex(args.knn_backend)
     else:
         # Learn the shared model on the reference prefix of the first trace
         # ("golden device"); every trace is then monitored in full.

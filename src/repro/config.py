@@ -136,6 +136,13 @@ class MonitorConfig:
         :class:`concurrent.futures.ProcessPoolExecutor`
         (:mod:`repro.analysis.parallel`) for multi-core scaling, with
         results bit-identical to the serial fleet.
+    knn_backend:
+        k-NN index used for reference scoring: one of ``"brute"``,
+        ``"kdtree"``, ``"grid"``, ``"balltree"`` or ``"auto"`` (default).
+        ``"auto"`` keeps the brute-force scan below
+        :data:`~repro.analysis.knn.AUTO_CROSSOVER_POINTS` reference points
+        and switches to the blocked ball tree above it.  Every backend is
+        exact: decisions, reports and recorded bytes are bit-identical.
     """
 
     window_duration_us: int = 40_000
@@ -147,6 +154,7 @@ class MonitorConfig:
     recording_format: str = "jsonl"
     max_active_shards: int | None = None
     fleet_workers: int = 1
+    knn_backend: str = "auto"
 
     def __post_init__(self) -> None:
         _require(self.window_duration_us > 0, "window_duration_us must be > 0")
@@ -167,6 +175,10 @@ class MonitorConfig:
             "max_active_shards must be None or >= 1",
         )
         _require(self.fleet_workers >= 1, "fleet_workers must be >= 1")
+        _require(
+            self.knn_backend in {"auto", "brute", "kdtree", "grid", "balltree"},
+            "knn_backend must be one of 'auto', 'brute', 'kdtree', 'grid', 'balltree'",
+        )
 
 
 @dataclass(frozen=True)

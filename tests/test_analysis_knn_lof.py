@@ -6,9 +6,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.knn import BruteForceKnn, KdTreeKnn
+from repro.analysis.knn import BallTreeKnn, BruteForceKnn, GridSimplexKnn, KdTreeKnn
 from repro.analysis.lof import LocalOutlierFactor
 from repro.errors import ModelError, NotFittedError
+
+ALL_INDEXES = [BruteForceKnn, KdTreeKnn, GridSimplexKnn, BallTreeKnn]
 
 
 def make_cluster_points(seed=0, n=200, dim=5):
@@ -17,7 +19,7 @@ def make_cluster_points(seed=0, n=200, dim=5):
 
 
 class TestKnnIndexes:
-    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    @pytest.mark.parametrize("index_cls", ALL_INDEXES)
     def test_nearest_neighbour_of_a_training_point_is_itself(self, index_cls):
         points = make_cluster_points()
         index = index_cls(points)
@@ -25,7 +27,7 @@ class TestKnnIndexes:
         assert indices[0] == 17
         assert distances[0] == pytest.approx(0.0, abs=1e-12)
 
-    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    @pytest.mark.parametrize("index_cls", ALL_INDEXES)
     def test_distances_sorted_and_k_clamped(self, index_cls):
         points = make_cluster_points(n=10)
         index = index_cls(points)
@@ -34,7 +36,7 @@ class TestKnnIndexes:
         assert list(distances) == sorted(distances)
         assert len(set(indices.tolist())) == 10
 
-    @pytest.mark.parametrize("index_cls", [BruteForceKnn, KdTreeKnn])
+    @pytest.mark.parametrize("index_cls", ALL_INDEXES)
     def test_invalid_queries_rejected(self, index_cls):
         index = index_cls(make_cluster_points(n=20, dim=3))
         with pytest.raises(ModelError):
@@ -77,6 +79,26 @@ class TestKnnIndexes:
         index = KdTreeKnn(points, leaf_size=2)
         distances, _ = index.query(np.ones(3), k=10)
         assert distances[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("index_cls", ALL_INDEXES)
+    def test_duplicate_points_tie_break_by_index(self, index_cls):
+        # Regression: every backend must break exact distance ties by
+        # ascending point index, so equal-distance neighbours come back in
+        # the same order regardless of backend.
+        rng = np.random.default_rng(8)
+        base = make_cluster_points(seed=8, n=20, dim=3)
+        points = np.vstack([base, base])[rng.permutation(40)]
+        index = index_cls(points)
+        oracle = BruteForceKnn(points)
+        for query in (points[3], np.zeros(3)):
+            distances, indices = index.query(query, k=12)
+            oracle_d, oracle_i = oracle.query(query, k=12)
+            np.testing.assert_array_equal(indices, oracle_i)
+            np.testing.assert_array_equal(distances, oracle_d)
+            # Within each run of tied distances, indices must ascend.
+            for a, b in zip(range(11), range(1, 12)):
+                if distances[a] == distances[b]:
+                    assert indices[a] < indices[b]
 
 
 class TestLocalOutlierFactor:

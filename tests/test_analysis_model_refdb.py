@@ -134,6 +134,50 @@ class TestPersistence:
         with pytest.raises(NotFittedError):
             ReferenceModel().save(tmp_path / "model.npz")
 
+    def test_saved_index_restores_without_refit(self, normal_mix, registry, tmp_path):
+        model = ReferenceModel(k_neighbours=10, index_kind="balltree").learn(
+            make_reference_windows(normal_mix), registry
+        )
+        loaded = ReferenceModel.load(model.save(tmp_path / "model.npz"))
+        # The fitted index travels inside the archive: the loaded model keeps
+        # the balltree backend and scores bit-identically, no refit involved.
+        assert loaded.index_kind == "balltree"
+        queries = model.points[:20]
+        np.testing.assert_array_equal(
+            loaded.score_vectors(queries), model.score_vectors(queries)
+        )
+        np.testing.assert_array_equal(loaded.points, model.points)
+
+    def test_save_without_index_refits_identically(self, learned_model, tmp_path):
+        model, _ = learned_model
+        path = model.save(tmp_path / "small.npz", include_index=False)
+        with np.load(path) as data:
+            assert "lof_state" not in data
+        loaded = ReferenceModel.load(path)
+        queries = model.points[:20]
+        np.testing.assert_array_equal(
+            loaded.score_vectors(queries), model.score_vectors(queries)
+        )
+
+    def test_corrupt_index_payload_rejected(self, learned_model, tmp_path):
+        model, _ = learned_model
+        path = model.save(tmp_path / "model.npz")
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["lof_state"] = np.frombuffer(b"definitely not a pickle", dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ModelError):
+            ReferenceModel.load(path)
+
+    def test_fingerprint_tracks_identity(self, learned_model, registry):
+        model, _ = learned_model
+        fingerprint = model.fingerprint()
+        assert fingerprint["dimension"] == model.dimension
+        assert fingerprint["n_points"] == len(model.points)
+        assert len(fingerprint["type_registry_hash"]) == 16
+        with pytest.raises(NotFittedError):
+            ReferenceModel().fingerprint()
+
 
 class TestReferenceDatabase:
     def test_add_get_roundtrip(self, learned_model, tmp_path):
@@ -185,6 +229,35 @@ class TestReferenceDatabase:
         assert ReferenceEntry.from_dict(entry.to_dict()) == entry
         with pytest.raises(ModelError):
             ReferenceEntry.from_dict({"description": "missing name"})
+
+    def test_entry_roundtrip_keeps_fingerprint(self):
+        entry = ReferenceEntry(
+            name="n",
+            filename="n.npz",
+            fingerprint={"dimension": 4, "n_points": 100, "type_registry_hash": "ab"},
+        )
+        rebuilt = ReferenceEntry.from_dict(entry.to_dict())
+        assert dict(rebuilt.fingerprint) == dict(entry.fingerprint)
+
+    def test_stale_model_file_fails_fingerprint_check(self, learned_model, tmp_path):
+        model, _ = learned_model
+        db = ReferenceDatabase(tmp_path / "refdb")
+        entry = db.add("gstreamer-1080p", model)
+        # Replace the stored file behind the catalogue's back with a model
+        # of a different shape — get() must refuse to score with it.
+        imposter = ReferenceModel.from_points(
+            model.points[:15], model.type_names, k_neighbours=10
+        )
+        imposter.save(db.root / entry.filename)
+        with pytest.raises(ModelError, match="gstreamer-1080p.*fingerprint"):
+            db.get("gstreamer-1080p")
+
+    def test_fingerprint_check_passes_for_untouched_entry(self, learned_model, tmp_path):
+        model, _ = learned_model
+        db = ReferenceDatabase(tmp_path / "refdb")
+        db.add("clean", model)
+        loaded = ReferenceDatabase(tmp_path / "refdb").get("clean")
+        assert loaded.fingerprint() == model.fingerprint()
 
     def test_empty_name_rejected(self, learned_model, tmp_path):
         model, _ = learned_model
