@@ -29,6 +29,7 @@ THROUGHPUT_BENCHMARKS = [
     "benchmarks/test_bench_throughput_batched.py",
     "benchmarks/test_bench_fleet.py",
     "benchmarks/test_bench_ingest.py",
+    "benchmarks/test_bench_streaming.py",
     "benchmarks/test_bench_knn.py",
 ]
 

@@ -1,0 +1,163 @@
+"""Streaming ingest throughput — chunked follow-mode file-to-scores vs one-shot.
+
+The streaming mirror of the columnar ingest benchmark: both paths start from
+the same finished trace file and end at per-window decisions against a
+pre-fitted model.
+
+* **one-shot path** — ``run_on_file``: whole-file columnar decode,
+  array-native windowing, lazy ``WindowBatch`` hand-off;
+* **streaming path** — ``follow_file``: a :class:`FileTail` over the same
+  (already complete) file, chunks through the resumable decoders and
+  :class:`StreamingWindowSource`'s incremental windowing, with bounded
+  buffered memory.
+
+Equivalence is asserted before timing (identical decisions, reports and
+detector counters — the bit-identity guarantee of the streaming plane),
+then the streaming path must stay within ``MAX_OVERHEAD`` of one-shot: the
+price of incremental decode and chunk-boundary bookkeeping, paid for a
+bounded-memory live-follow capability the one-shot path cannot offer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.model import ReferenceModel
+from repro.analysis.monitor import TraceMonitor
+from repro.config import DetectorConfig, MonitorConfig
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+from repro.trace.writer import write_trace
+
+MIX = {
+    "mb_row_decode": 10.0,
+    "frame_decode_start": 1.0,
+    "frame_decode_end": 1.0,
+    "frame_display": 1.0,
+    "vsync": 1.0,
+    "audio_decode": 2.0,
+    "buffer_push": 1.0,
+    "buffer_pop": 1.0,
+    "demux_packet": 1.0,
+    "syscall_enter": 1.0,
+    "syscall_exit": 1.0,
+}
+
+WINDOW_DURATION_US = 40_000
+EVENT_RATE_PER_S = 10_000
+DURATION_S = 15.0
+BATCH_SIZE = 64
+#: Chunk size of the follow-mode reads: small enough that the run crosses
+#: many chunk boundaries (the cost being measured), large enough to be a
+#: realistic tracer flush.
+CHUNK_BYTES = 64 * 1024
+#: The streaming path may cost at most this multiple of one-shot on the
+#: binary format (incremental decode + windowing bookkeeping + tail polls).
+MAX_OVERHEAD = 2.5
+
+#: Smoke mode (REPRO_BENCH_STREAMING_SMOKE=1): single timing repetition and
+#: no overhead ceiling — CI's quick sanity pass still checks end-to-end
+#: equivalence without letting a loaded shared runner fail on timing.
+SMOKE = os.environ.get("REPRO_BENCH_STREAMING_SMOKE") == "1"
+REPETITIONS = 1 if SMOKE else 3
+
+
+@pytest.fixture(scope="module")
+def streaming_setup(tmp_path_factory):
+    root = tmp_path_factory.mktemp("streaming")
+    registry = EventTypeRegistry.with_default_types()
+    reference_generator = SyntheticTraceGenerator(
+        MIX, rate_per_s=EVENT_RATE_PER_S, seed=1
+    )
+    reference = list(
+        windows_by_duration(reference_generator.events(60.0), WINDOW_DURATION_US)
+    )
+    model = ReferenceModel(k_neighbours=20).learn(reference, registry)
+    live_generator = SyntheticTraceGenerator(MIX, rate_per_s=EVENT_RATE_PER_S, seed=2)
+    events = list(live_generator.events(DURATION_S))
+    paths = {
+        "binary": write_trace(events, root / "trace.bin", fmt="binary"),
+        "jsonl": write_trace(events, root / "trace.jsonl", fmt="jsonl"),
+    }
+    return model, paths
+
+
+def make_monitor(model):
+    detector_config = DetectorConfig(k_neighbours=20, lof_threshold=1.2)
+    monitor_config = MonitorConfig(batch_size=BATCH_SIZE)
+    return TraceMonitor(
+        detector_config, monitor_config, EventTypeRegistry.with_default_types()
+    )
+
+
+def run_one_shot(model, path):
+    return make_monitor(model).run_on_file(path, model=model)
+
+
+def run_streaming(model, path):
+    # idle_timeout_s=0: the file is complete, so the first idle poll ends
+    # the follow — the measured work is chunked decode + incremental
+    # windowing, not waiting.
+    return make_monitor(model).follow_file(
+        path,
+        model=model,
+        poll_interval_s=0.001,
+        idle_timeout_s=0.0,
+        chunk_bytes=CHUNK_BYTES,
+    )
+
+
+def best_of(fn, repetitions=REPETITIONS):
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_streaming_ingest_overhead(streaming_setup, benchmark):
+    model, paths = streaming_setup
+
+    # Equivalence first: the streaming plane's whole contract is that a
+    # chunked follow of the final file scores bit-identically to one-shot.
+    rates = {}
+    n_windows = 0
+    for fmt, path in paths.items():
+        one_shot_result = run_one_shot(model, path)
+        streaming_result = run_streaming(model, path)
+        assert one_shot_result.decisions == streaming_result.decisions
+        assert one_shot_result.report == streaming_result.report
+        assert one_shot_result.detector_stats == streaming_result.detector_stats
+        n_windows = one_shot_result.n_windows
+
+        one_shot_s = best_of(lambda: run_one_shot(model, path))
+        streaming_s = best_of(lambda: run_streaming(model, path))
+        rates[fmt] = {
+            "one_shot": n_windows / one_shot_s,
+            "streaming": n_windows / streaming_s,
+        }
+
+    benchmark(lambda: run_streaming(model, paths["binary"]).n_windows)
+
+    print()
+    for fmt, row in rates.items():
+        overhead = row["one_shot"] / row["streaming"]
+        print(
+            f"{fmt:>6}: one-shot {row['one_shot']:,.0f} w/s | "
+            f"streaming {row['streaming']:,.0f} w/s "
+            f"({overhead:.2f}x overhead)"
+        )
+
+    binary_overhead = (
+        rates["binary"]["one_shot"] / rates["binary"]["streaming"]
+    )
+    if not SMOKE:
+        assert binary_overhead <= MAX_OVERHEAD, (
+            f"streaming follow-mode ingest costs {binary_overhead:.2f}x "
+            f"one-shot on the binary format; expected <= {MAX_OVERHEAD}x"
+        )

@@ -55,6 +55,7 @@ from ..trace.batch import WindowBatch
 from ..trace.columns import TraceColumns
 from ..trace.event import EventTypeRegistry
 from ..trace.stream import ColumnarWindowSource, TraceStream
+from ..trace.streaming import StreamingWindowSource
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
@@ -284,7 +285,7 @@ class ShardedTraceMonitor:
 
     def monitor_shards(
         self,
-        shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource]",
+        shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource | StreamingWindowSource]",
         model: ReferenceModel,
         output_dir: str | Path | None = None,
         keep_events: bool = False,
@@ -293,9 +294,13 @@ class ShardedTraceMonitor:
 
         Shard values may be window iterables (the historical form), raw
         :class:`~repro.trace.columns.TraceColumns` (cut into duration
-        windows with the configured ``window_duration_us``), or
+        windows with the configured ``window_duration_us``),
         :class:`~repro.trace.stream.ColumnarWindowSource` objects carrying
-        their own windowing recipe.  When ``output_dir`` is given each
+        their own windowing recipe, or live
+        :class:`~repro.trace.streaming.StreamingWindowSource` streams
+        (single-pass, bounded memory; in the parallel backend they are fed
+        to workers chunk-by-chunk over bounded channels instead of being
+        materialised up front).  When ``output_dir`` is given each
         shard records its anomalous windows to
         ``<output_dir>/<label>.jsonl`` (``.bin`` with the binary recording
         format).  With ``MonitorConfig.fleet_workers > 1`` the shards are

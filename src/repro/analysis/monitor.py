@@ -33,6 +33,7 @@ from ..trace.stream import (
     column_windows_by_duration,
     materialize_layout_windows,
 )
+from ..trace.streaming import StreamingWindowSource
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
@@ -48,6 +49,17 @@ __all__ = [
 ]
 
 _LOGGER = get_logger("analysis.monitor")
+
+
+def _check_prefetch(prefetch_batches: int) -> None:
+    """Reject negative prefetch depths instead of silently disabling."""
+    if prefetch_batches < 0:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"prefetch_batches must be >= 0 (got {prefetch_batches}); "
+            "use 0 to disable prefetching"
+        )
 
 
 def build_shard_pipeline(
@@ -100,15 +112,17 @@ def shard_batches(
     Accepts what the fleet accepts as a shard value — an iterable of
     :class:`~repro.trace.window.TraceWindow`, a raw
     :class:`~repro.trace.columns.TraceColumns` (cut into duration windows
-    with the configured ``window_duration_us``), or a fully parameterised
-    :class:`~repro.trace.stream.ColumnarWindowSource`.  Single definition
+    with the configured ``window_duration_us``), a fully parameterised
+    :class:`~repro.trace.stream.ColumnarWindowSource`, or a live
+    :class:`~repro.trace.streaming.StreamingWindowSource` (whose batches
+    are pulled chunk by chunk with bounded memory).  Single definition
     shared by the serial fleet and the process-parallel workers, so both
     backends batch identically.
     """
     batch_size = max(monitor_config.batch_size, 1)
     if isinstance(source, TraceColumns):
         source = ColumnarWindowSource(source)
-    if isinstance(source, ColumnarWindowSource):
+    if isinstance(source, (ColumnarWindowSource, StreamingWindowSource)):
         return source.batches(
             registry,
             batch_size,
@@ -426,6 +440,7 @@ class TraceMonitor:
         (:func:`~repro.trace.pipeline.prefetch_batches`); decisions and
         recordings are unaffected.
         """
+        _check_prefetch(prefetch_batches)
         layout = column_windows_by_duration(
             columns, self.monitor_config.window_duration_us
         )
@@ -476,6 +491,92 @@ class TraceMonitor:
 
         return self.run_on_columns(
             read_trace_columns(path),
+            model=model,
+            output_path=output_path,
+            keep_events=keep_events,
+            prefetch_batches=prefetch_batches,
+        )
+
+    def run_streaming(
+        self,
+        source: StreamingWindowSource,
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        prefetch_batches: int = 0,
+    ) -> MonitorResult:
+        """Learn (if needed) and monitor a live streaming source.
+
+        The streaming mirror of :meth:`run_on_columns`: chunks are pulled
+        from ``source`` on demand, windows are cut incrementally, and the
+        decisions, report and recording are **bit-identical** to a
+        one-shot read of the stream's final contents — fed in any chunking
+        whatsoever.  Memory is bounded by the batch size and queue depths,
+        never by the stream length.
+
+        When ``model`` is ``None`` the stream's reference prefix
+        (``monitor_config.reference_duration_us``) is consumed and
+        materialised for learning first; if the stream ends inside the
+        reference period, every window is reference and nothing is
+        monitored — exactly like the one-shot path on the same trace.
+        """
+        _check_prefetch(prefetch_batches)
+        window_duration = self.monitor_config.window_duration_us
+        if model is None:
+            reference_windows = source.reference_windows(
+                self.monitor_config.reference_duration_us,
+                default_window_duration_us=window_duration,
+            )
+            model = self.learn_reference(reference_windows)
+            reference_count = len(reference_windows)
+        else:
+            if not model.is_fitted:
+                raise ModelError("provided reference model is not fitted")
+            reference_count = 0
+        batches = source.batches(
+            self.registry,
+            max(self.monitor_config.batch_size, 1),
+            default_window_duration_us=window_duration,
+        )
+        if prefetch_batches > 0:
+            batches = _prefetch_batches(batches, prefetch_batches)
+        return self.monitor_batches(
+            batches,
+            model,
+            output_path=output_path,
+            keep_events=keep_events,
+            reference_window_count=reference_count,
+        )
+
+    def follow_file(
+        self,
+        path: str | Path,
+        model: ReferenceModel | None = None,
+        output_path: str | Path | None = None,
+        keep_events: bool = False,
+        prefetch_batches: int = 0,
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: float | None = None,
+        stop=None,
+        chunk_bytes: int = 1 << 20,
+    ) -> MonitorResult:
+        """Follow a (possibly still-growing) trace file and monitor it live.
+
+        The streaming counterpart of :meth:`run_on_file`: bytes are
+        consumed as the tracer appends them (see
+        :class:`~repro.trace.streaming.FileTail` for the poll / idle /
+        stop semantics) and the result is bit-identical to a one-shot read
+        of the final file.
+        """
+        source = StreamingWindowSource.follow(
+            path,
+            poll_interval_s=poll_interval_s,
+            idle_timeout_s=idle_timeout_s,
+            stop=stop,
+            chunk_bytes=chunk_bytes,
+        )
+        return self.run_streaming(
+            source,
             model=model,
             output_path=output_path,
             keep_events=keep_events,

@@ -31,7 +31,11 @@ The one semantic difference from the serial backend: shard window iterables
 are materialised in the parent before submission (workers must be able to
 see them), so the parallel path trades memory proportional to the fleet for
 multi-core scaling.  ``MonitorConfig.max_active_shards`` does not apply —
-at most ``fleet_workers`` shards are in flight at any moment.
+at most ``fleet_workers`` shards are in flight at any moment.  Two shard
+kinds escape the up-front materialisation through **bounded per-shard
+channels** instead (see `Chunked transport`_ below): live
+:class:`~repro.trace.streaming.StreamingWindowSource` shards (always), and
+plain window iterables when ``MonitorConfig.shard_chunk_windows`` is set.
 
 Window transport
 ----------------
@@ -47,23 +51,50 @@ crosses the process boundary through copy-on-write fork memory at zero
 serialisation cost.  Where fork is unavailable the windows travel inside
 the (pickled) work order instead; both transports are exercised by the
 equivalence suite and produce bit-identical results.
+
+Chunked transport
+-----------------
+A live :class:`~repro.trace.streaming.StreamingWindowSource` shard cannot
+be materialised up front (it may be unbounded, and bounding memory is its
+whole point), so the parent instead pumps its *decoded chunk stream*
+(:meth:`~repro.trace.streaming.StreamingWindowSource.columns_chunks`) over
+a bounded per-shard channel — ``MonitorConfig.stream_queue_depth`` chunks
+deep — from one feeder thread per shard, and the worker rebuilds an
+identical source over the channel with
+:meth:`~repro.trace.streaming.StreamingWindowSource.with_columns_chunks`.
+The same channel machinery feeds plain window-iterable shards in bounded
+chunks of ``MonitorConfig.shard_chunk_windows`` windows when that knob is
+set, so a wide fleet of generator-backed shards no longer needs the whole
+fleet's windows in memory at once.  Backpressure is end-to-end: a full
+channel blocks the feeder, which stops pulling from the source.  On fork
+platforms the channels are fork-inherited :class:`multiprocessing.Queue`
+objects (parked in :data:`_SHARD_CHANNELS`); elsewhere they are manager
+proxies travelling inside the pickled work order.  Feeder-side failures
+(e.g. a decode error halfway through a stream) are marshalled over the
+channel as data and re-raised in the worker, so the resulting
+:class:`~repro.errors.FleetError` still names the failing shard; a worker
+that loses its parent mid-stream raises instead of waiting forever.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
+import queue as _queue
+import threading
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from itertools import chain
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..config import DetectorConfig, MonitorConfig
-from ..errors import FleetError
+from ..errors import FleetError, TraceStreamError
 from ..logging_util import get_logger
 from ..trace.columns import TraceColumns
 from ..trace.stream import ColumnarWindowSource
+from ..trace.streaming import StreamingWindowSource, StreamRecipe
 from ..trace.window import TraceWindow
 from .detector import WindowDecision
 from .model import ReferenceModel
@@ -110,6 +141,16 @@ class _ShardTask:
     )
     output_path: Path | None
     keep_events: bool
+    #: ``None`` for the materialised transports above; ``"columns"`` when
+    #: the shard is fed decoded :class:`TraceColumns` chunks over a bounded
+    #: channel (streaming sources), ``"windows"`` when it is fed bounded
+    #: lists of :class:`TraceWindow` (``shard_chunk_windows``).
+    chunk_kind: str | None = None
+    #: Windowing recipe for ``chunk_kind == "columns"`` reconstruction.
+    recipe: StreamRecipe | None = None
+    #: Manager-queue proxy on pickle-transport platforms; ``None`` on fork
+    #: platforms, where the channel is inherited via :data:`_SHARD_CHANNELS`.
+    channel: object | None = None
 
 
 @dataclass
@@ -141,6 +182,15 @@ _SHARD_WINDOWS: (
     dict[str, tuple[TraceWindow, ...] | TraceColumns | ColumnarWindowSource] | None
 ) = None
 
+#: Fork-inheritance staging area for the chunked transport's per-shard
+#: bounded channels (:class:`multiprocessing.Queue`), keyed by shard label.
+#: Always reset to ``None`` in the parent once the pool is done.
+_SHARD_CHANNELS: "dict[str, object] | None" = None
+
+#: How long channel operations wait before re-checking for shutdown
+#: (feeder side: the run was abandoned; worker side: the parent died).
+_CHANNEL_POLL_S = 0.1
+
 
 def fork_transport_available() -> bool:
     """Whether workers can inherit parent memory (fork start method).
@@ -152,6 +202,83 @@ def fork_transport_available() -> bool:
     travel through the pickle queue instead.
     """
     return multiprocessing.get_start_method() == "fork"
+
+
+def _channel_put(channel, message, stop: threading.Event) -> bool:
+    """Put ``message`` on a bounded channel; ``False`` once ``stop`` fires."""
+    while not stop.is_set():
+        try:
+            channel.put(message, timeout=_CHANNEL_POLL_S)
+            return True
+        except _queue.Full:
+            continue
+    return False
+
+
+def _feed_channel(
+    channel, chunks: Iterable, stop: threading.Event, label: str
+) -> None:
+    """Parent-side feeder: pump ``chunks`` over a bounded shard channel.
+
+    Source failures (a decode error halfway through a live stream, a bad
+    window iterable) are shipped to the worker as an ``("error", message)``
+    message rather than raised here, so the shard's
+    :class:`~repro.errors.FleetError` names the right shard and no worker
+    is left waiting on a channel that will never complete.
+    """
+    try:
+        for chunk in chunks:
+            if not _channel_put(channel, ("chunk", chunk), stop):
+                return
+        _channel_put(channel, ("done", None), stop)
+    except Exception as exc:  # noqa: BLE001 - re-raised worker-side
+        _LOGGER.warning("shard %r feeder failed: %s", label, exc)
+        _channel_put(
+            channel, ("error", f"{type(exc).__name__}: {exc}"), stop
+        )
+
+
+def _window_chunks(
+    source: Iterable[TraceWindow], size: int
+) -> Iterator[list[TraceWindow]]:
+    """Slice a window iterable into bounded lists of at most ``size``."""
+    block: list[TraceWindow] = []
+    for window in source:
+        block.append(window)
+        if len(block) >= size:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
+def _iter_channel_chunks(channel, label: str) -> Iterator:
+    """Worker-side channel reader: yield chunks until ``done`` or failure.
+
+    Polls with a timeout and checks parent liveness between polls — a
+    parent that died with the stream unfinished surfaces as a
+    :class:`~repro.errors.TraceStreamError` instead of blocking the worker
+    (and the pool shutdown behind it) forever.
+    """
+    parent = multiprocessing.parent_process()
+    while True:
+        try:
+            kind, payload = channel.get(timeout=_CHANNEL_POLL_S)
+        except _queue.Empty:
+            if parent is not None and not parent.is_alive():
+                raise TraceStreamError(
+                    f"shard {label!r} chunk feeder (parent process) died "
+                    "before completing the stream"
+                ) from None
+            continue
+        if kind == "chunk":
+            yield payload
+        elif kind == "done":
+            return
+        else:
+            raise TraceStreamError(
+                f"shard {label!r} chunk feeder failed: {payload}"
+            )
 
 
 def _initialize_worker(payload: bytes) -> None:
@@ -182,7 +309,25 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
             label=task.label, error="worker process was never initialised"
         )
     try:
-        if task.windows is not None:
+        if task.chunk_kind is not None:
+            channel = task.channel
+            if channel is None:
+                if _SHARD_CHANNELS is None or task.label not in _SHARD_CHANNELS:
+                    return _ShardOutcome(
+                        label=task.label,
+                        error="shard channel was neither pickled nor "
+                        "fork-inherited",
+                    )
+                channel = _SHARD_CHANNELS[task.label]
+            chunks = _iter_channel_chunks(channel, task.label)
+            if task.chunk_kind == "columns":
+                recipe = task.recipe if task.recipe is not None else StreamRecipe()
+                windows = StreamingWindowSource(
+                    columns_chunks=chunks, recipe=recipe
+                )
+            else:
+                windows = chain.from_iterable(chunks)
+        elif task.windows is not None:
             windows = task.windows
         elif _SHARD_WINDOWS is not None and task.label in _SHARD_WINDOWS:
             windows = _SHARD_WINDOWS[task.label]
@@ -221,7 +366,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
 
 
 def monitor_shards_parallel(
-    shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource]",
+    shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource | StreamingWindowSource]",
     model: ReferenceModel,
     detector_config: DetectorConfig,
     monitor_config: MonitorConfig,
@@ -236,9 +381,20 @@ def monitor_shards_parallel(
     naming the first failing shard (in submission order) after every shard
     has finished and closed its output file.
     """
-    global _SHARD_WINDOWS
+    global _SHARD_WINDOWS, _SHARD_CHANNELS
     labels = list(shards)
     use_fork = fork_transport_available()
+    # Shards routed through bounded channels instead of materialisation:
+    # live streaming sources always (they may be unbounded), plain window
+    # iterables when the shard_chunk_windows knob asks for it.
+    chunked: dict[str, tuple[str, object]] = {}
+    for label, source in shards.items():
+        if isinstance(source, StreamingWindowSource):
+            chunked[label] = ("columns", source)
+        elif isinstance(source, (TraceColumns, ColumnarWindowSource)):
+            continue
+        elif monitor_config.shard_chunk_windows is not None:
+            chunked[label] = ("windows", source)
     materialised = {
         label: (
             source
@@ -246,7 +402,24 @@ def monitor_shards_parallel(
             else tuple(source)
         )
         for label, source in shards.items()
+        if label not in chunked
     }
+    context = multiprocessing.get_context("fork") if use_fork else None
+    manager = None
+    channels: dict[str, object] = {}
+    if chunked:
+        depth = monitor_config.stream_queue_depth
+        if use_fork:
+            # Created before the pool (workers fork at first submission and
+            # must inherit them); parked in _SHARD_CHANNELS below.
+            channels = {
+                label: context.Queue(maxsize=depth) for label in chunked
+            }
+        else:
+            manager = multiprocessing.Manager()
+            channels = {
+                label: manager.Queue(maxsize=depth) for label in chunked
+            }
     tasks = []
     for label in labels:
         output_path = (
@@ -254,23 +427,40 @@ def monitor_shards_parallel(
             if output_dir is not None
             else None
         )
-        tasks.append(
-            _ShardTask(
-                label,
-                None if use_fork else materialised[label],
-                output_path,
-                keep_events,
+        if label in chunked:
+            kind, source = chunked[label]
+            tasks.append(
+                _ShardTask(
+                    label,
+                    None,
+                    output_path,
+                    keep_events,
+                    chunk_kind=kind,
+                    recipe=source.recipe if kind == "columns" else None,
+                    channel=None if use_fork else channels[label],
+                )
             )
-        )
+        else:
+            tasks.append(
+                _ShardTask(
+                    label,
+                    None if use_fork else materialised[label],
+                    output_path,
+                    keep_events,
+                )
+            )
     workers = max(1, min(monitor_config.fleet_workers, len(tasks)))
     _LOGGER.info(
-        "parallel fleet: %d shards across %d worker processes (%s transport)",
+        "parallel fleet: %d shards across %d worker processes "
+        "(%s transport, %d chunked)",
         len(tasks),
         workers,
         "fork" if use_fork else "pickle",
+        len(chunked),
     )
-    context = multiprocessing.get_context("fork") if use_fork else None
     outcomes: dict[str, _ShardOutcome] = {}
+    stop_feeders = threading.Event()
+    feeders: list[threading.Thread] = []
     try:
         payload = pickle.dumps(
             _WorkerState(
@@ -281,6 +471,7 @@ def monitor_shards_parallel(
         if use_fork:
             # Workers fork at first submission, inheriting this snapshot.
             _SHARD_WINDOWS = materialised
+            _SHARD_CHANNELS = channels if channels else None
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=context,
@@ -288,6 +479,25 @@ def monitor_shards_parallel(
             initargs=(payload,),
         ) as pool:
             futures = [(task.label, pool.submit(_run_shard, task)) for task in tasks]
+            # Feeders start only after every submission: on fork platforms
+            # the workers fork during the submits above, and forking a
+            # process with live feeder threads could snapshot held locks.
+            for label, (kind, source) in chunked.items():
+                chunks = (
+                    source.columns_chunks()
+                    if kind == "columns"
+                    else _window_chunks(
+                        source, monitor_config.shard_chunk_windows
+                    )
+                )
+                feeder = threading.Thread(
+                    target=_feed_channel,
+                    args=(channels[label], chunks, stop_feeders, label),
+                    name=f"repro-shard-feed-{label}",
+                    daemon=True,
+                )
+                feeders.append(feeder)
+                feeder.start()
             for label, future in futures:
                 outcomes[label] = future.result()
     except FleetError:
@@ -298,6 +508,26 @@ def monitor_shards_parallel(
         raise FleetError(f"parallel fleet execution failed: {exc}") from exc
     finally:
         _SHARD_WINDOWS = None
+        _SHARD_CHANNELS = None
+        stop_feeders.set()
+        for channel in channels.values():
+            # Unblock any feeder stuck on a full channel (dead worker).
+            while True:
+                try:
+                    channel.get_nowait()
+                except _queue.Empty:
+                    break
+                except (OSError, ValueError):
+                    break
+        for feeder in feeders:
+            feeder.join(timeout=5.0)
+        for channel in channels.values():
+            close = getattr(channel, "close", None)
+            if close is not None and manager is None:
+                channel.cancel_join_thread()
+                close()
+        if manager is not None:
+            manager.shutdown()
     for label in labels:
         outcome = outcomes[label]
         if outcome.error is not None:

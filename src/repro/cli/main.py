@@ -16,7 +16,10 @@ array-native windowing and a bounded decode/score overlap
 (``--prefetch``).  ``--ingest objects`` restores the per-event object path;
 results are bit-identical either way.  ``--recording-format binary`` writes
 recorded windows as compact binary segments whose body bytes equal the
-accounted window sizes.
+accounted window sizes.  ``monitor --follow`` tails a trace file that is
+still being appended (streaming columnar ingest, bounded memory) and stops
+once the file has been idle for ``--idle-timeout`` seconds; the results are
+bit-identical to a one-shot run over the final file.
 
 Every subcommand prints a plain-text report on stdout; ``--json`` switches to
 machine-readable JSON output.
@@ -37,7 +40,7 @@ from ..analysis.labeling import GroundTruth
 from ..analysis.model import ReferenceModel
 from ..analysis.monitor import TraceMonitor
 from ..config import DetectorConfig, EnduranceConfig, MonitorConfig
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..experiments.endurance import run_endurance_experiment
 from ..experiments.report import render_alpha_sweep, render_headline
 from ..experiments.sweep import alpha_sweep
@@ -54,6 +57,50 @@ from ..trace.stream import (
 from ..trace.writer import write_trace
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: integer >= 1, rejected with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer (got {text!r})")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """Argparse type: integer >= 0 (0 = disabled), rejected clearly."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer (got {text!r})")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: float > 0, rejected with a clear message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number (got {text!r})")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 (got {value})")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """Argparse type: float >= 0, rejected with a clear message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number (got {text!r})")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--window-ms", type=float, default=40.0)
     monitor.add_argument("--alpha", type=float, default=1.2)
     monitor.add_argument("--k", type=int, default=20)
-    monitor.add_argument("--batch-size", type=int, default=64)
+    monitor.add_argument("--batch-size", type=_positive_int, default=64)
     monitor.add_argument(
         "--ingest",
         choices=["columnar", "objects"],
@@ -108,10 +155,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     monitor.add_argument(
         "--prefetch",
-        type=int,
+        type=_non_negative_int,
         default=4,
         help="batches the columnar ingest pipeline decodes ahead of scoring "
         "(bounded producer/consumer hand-off; 0 disables the overlap)",
+    )
+    monitor.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the trace file as it is appended (streaming columnar "
+        "ingest with bounded memory); requires --ingest columnar and stops "
+        "after --idle-timeout seconds without growth",
+    )
+    monitor.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.05,
+        metavar="SECONDS",
+        help="how often --follow re-checks the file for growth",
+    )
+    monitor.add_argument(
+        "--idle-timeout",
+        type=_non_negative_float,
+        default=None,
+        metavar="SECONDS",
+        help="stop --follow after this long without new bytes "
+        "(default: follow forever, like tail -f)",
     )
     monitor.add_argument(
         "--recording-format",
@@ -145,13 +214,27 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--window-ms", type=float, default=40.0)
     fleet.add_argument("--alpha", type=float, default=1.2)
     fleet.add_argument("--k", type=int, default=20)
-    fleet.add_argument("--batch-size", type=int, default=64)
+    fleet.add_argument("--batch-size", type=_positive_int, default=64)
     fleet.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for the fleet (1 = serial; results are "
         "bit-identical for any worker count)",
+    )
+    fleet.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=8,
+        help="depth of the bounded per-shard channels used by the parallel "
+        "backend's chunked transport (streaming shards and --chunk-windows)",
+    )
+    fleet.add_argument(
+        "--chunk-windows",
+        type=_positive_int,
+        default=None,
+        help="feed window-iterable shards to parallel workers in bounded "
+        "chunks of this many windows instead of materialising whole shards",
     )
     fleet.add_argument(
         "--ingest",
@@ -310,7 +393,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     model = ReferenceModel.load(args.model) if args.model else None
     if model is not None and args.knn_backend is not None:
         model.reindex(args.knn_backend)
-    if args.ingest == "columnar":
+    if args.follow:
+        if args.ingest != "columnar":
+            raise ConfigurationError(
+                "--follow requires the columnar ingest path "
+                "(drop --ingest objects)"
+            )
+        result = monitor.follow_file(
+            args.trace,
+            model=model,
+            output_path=args.output,
+            prefetch_batches=args.prefetch,
+            poll_interval_s=args.poll_interval,
+            idle_timeout_s=args.idle_timeout,
+        )
+    elif args.ingest == "columnar":
         # Default path: file bytes -> flat arrays -> lazy WindowBatches,
         # with decode/batch construction overlapped with scoring.
         result = monitor.run_on_file(
@@ -367,6 +464,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         recording_format=args.recording_format,
         fleet_workers=args.workers,
         knn_backend=args.knn_backend or "auto",
+        stream_queue_depth=args.queue_depth,
+        shard_chunk_windows=args.chunk_windows,
     )
     registry = EventTypeRegistry.with_default_types()
     labels = _shard_labels(args.traces)

@@ -143,6 +143,18 @@ class MonitorConfig:
         :data:`~repro.analysis.knn.AUTO_CROSSOVER_POINTS` reference points
         and switches to the blocked ball tree above it.  Every backend is
         exact: decisions, reports and recorded bytes are bit-identical.
+    stream_queue_depth:
+        Depth of the bounded hand-off queues used by the streaming ingest
+        plane (:mod:`repro.trace.streaming`) and the chunked per-shard
+        channels of the parallel fleet backend.  Deeper queues smooth
+        producer/consumer jitter at the cost of more buffered chunks in
+        memory; must be >= 1.
+    shard_chunk_windows:
+        When set, the parallel fleet backend feeds plain window-iterable
+        shards to workers in bounded chunks of this many windows instead of
+        materialising the full shard list up front (streaming shards are
+        always fed chunked).  ``None`` (default) keeps the historical
+        fully-materialised hand-off for list/iterator shards.
     """
 
     window_duration_us: int = 40_000
@@ -155,6 +167,8 @@ class MonitorConfig:
     max_active_shards: int | None = None
     fleet_workers: int = 1
     knn_backend: str = "auto"
+    stream_queue_depth: int = 8
+    shard_chunk_windows: int | None = None
 
     def __post_init__(self) -> None:
         _require(self.window_duration_us > 0, "window_duration_us must be > 0")
@@ -178,6 +192,13 @@ class MonitorConfig:
         _require(
             self.knn_backend in {"auto", "brute", "kdtree", "grid", "balltree"},
             "knn_backend must be one of 'auto', 'brute', 'kdtree', 'grid', 'balltree'",
+        )
+        _require(
+            self.stream_queue_depth >= 1, "stream_queue_depth must be >= 1"
+        )
+        _require(
+            self.shard_chunk_windows is None or self.shard_chunk_windows >= 1,
+            "shard_chunk_windows must be None or >= 1",
         )
 
 

@@ -32,7 +32,9 @@ suite asserts both).
 
 from __future__ import annotations
 
+import codecs
 import json
+import struct
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -51,6 +53,8 @@ from .event import TraceEvent
 _JSON_CODEC = JsonTraceCodec()
 
 __all__ = [
+    "BinaryColumnsDecoder",
+    "JsonColumnsDecoder",
     "TraceColumns",
     "decode_binary_columns",
     "decode_json_columns",
@@ -309,6 +313,70 @@ def _payload_field_size(args) -> int:
 # ---------------------------------------------------------------------- #
 # Vectorized decoders
 # ---------------------------------------------------------------------- #
+def _try_decode_varint(data: bytes, offset: int, size: int):
+    """Decode a varint at ``offset``; ``None`` when ``data`` ends inside it.
+
+    An over-long varint (more than 64 value bits) is corrupt rather than
+    incomplete and still raises, exactly like
+    :func:`~repro.trace.codec._decode_varint`.
+    """
+    result = 0
+    shift = 0
+    while True:
+        if offset >= size:
+            return None
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError("varint too long in binary trace")
+
+
+def _parse_record(data: bytes, offset: int):
+    """Parse one binary event record starting at ``offset``.
+
+    Returns ``(delta, local_code, core, static_size, end_offset)``, or
+    ``None`` when ``data`` ends mid-record — the caller decides whether
+    that means a truncated file (one-shot decode) or simply an incomplete
+    chunk (streaming decode).  Single definition shared by
+    :func:`decode_binary_columns` and :class:`BinaryColumnsDecoder` so the
+    two cannot diverge on the record layout.
+    """
+    size = len(data)
+    parsed = _try_decode_varint(data, offset, size)
+    if parsed is None:
+        return None
+    delta, pos = parsed
+    parsed = _try_decode_varint(data, pos, size)
+    if parsed is None:
+        return None
+    code, pos = parsed
+    if pos >= size:
+        return None
+    core = data[pos]
+    pos += 1
+    parsed = _try_decode_varint(data, pos, size)
+    if parsed is None:
+        return None
+    task_len, task_end = parsed
+    task_field = (task_end - pos) + task_len
+    pos = task_end + task_len
+    if pos > size:
+        return None
+    parsed = _try_decode_varint(data, pos, size)
+    if parsed is None:
+        return None
+    payload_len, payload_end = parsed
+    payload_field = (payload_end - pos) + payload_len
+    pos = payload_end + payload_len
+    if pos > size:
+        return None
+    return delta, code, core, 1 + task_field + payload_field, pos
+
+
 def decode_binary_columns(data: bytes) -> TraceColumns:
     """Decode a (possibly segmented) binary trace blob into columns.
 
@@ -350,29 +418,24 @@ def decode_binary_columns(data: bytes) -> TraceColumns:
         n_segment_types = len(segment_names)
         for i in range(count):
             records[i] = offset
-            delta, offset = _decode_varint(data, offset)
-            code, offset = _decode_varint(data, offset)
+            parsed = _parse_record(data, offset)
+            if parsed is None:
+                raise TraceFormatError(
+                    f"truncated event record at byte offset {offset} "
+                    f"(trace ends mid-record, {count - i} of the segment's "
+                    f"{count} record(s) missing or incomplete)"
+                )
+            delta, code, core, static_size, offset = parsed
             if code >= n_segment_types:
-                raise TraceFormatError(f"unknown event-type code: {code}")
-            if offset >= size:
-                raise TraceFormatError("truncated event record")
-            core = data[offset]
-            offset += 1
-            task_len, task_end = _decode_varint(data, offset)
-            task_field = (task_end - offset) + task_len
-            offset = task_end + task_len
-            if offset > size:
-                raise TraceFormatError("truncated event record")
-            payload_len, payload_end = _decode_varint(data, offset)
-            payload_field = (payload_end - offset) + payload_len
-            offset = payload_end + payload_len
-            if offset > size:
-                raise TraceFormatError("truncated event record")
+                raise TraceFormatError(
+                    f"unknown event-type code: {code} "
+                    f"at byte offset {int(records[i])}"
+                )
             previous += delta
             timestamps[i] = previous
             codes[i] = remap[code]
             cores[i] = core
-            static[i] = 1 + task_field + payload_field
+            static[i] = static_size
         ts_parts.append(timestamps)
         code_parts.append(codes)
         core_parts.append(cores)
@@ -417,7 +480,7 @@ def decode_json_columns(text: str) -> TraceColumns:
     names: list[str] = []
     task_cache: dict[str, int] = {}
     position = 0
-    for raw in text.split("\n"):
+    for line_no, raw in enumerate(text.split("\n"), start=1):
         start = position
         position += len(raw) + 1
         line = raw.strip()
@@ -427,7 +490,11 @@ def decode_json_columns(text: str) -> TraceColumns:
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"malformed JSON event line: {line!r}") from exc
+            raise TraceFormatError(
+                f"malformed JSON event line {line_no}: {line!r} "
+                "(a partial final line usually means the trace is still "
+                "being appended)"
+            ) from exc
         try:
             timestamp = int(record["t"])
             etype = str(record["type"])
@@ -435,9 +502,13 @@ def decode_json_columns(text: str) -> TraceColumns:
             task = str(record.get("task", ""))
             args = dict(record.get("args", {}))
         except (KeyError, TypeError, ValueError) as exc:
-            raise TraceFormatError(f"malformed event record: {record!r}") from exc
+            raise TraceFormatError(
+                f"malformed event record at line {line_no}: {record!r}"
+            ) from exc
         if timestamp < 0:
-            raise TraceFormatError(f"negative timestamp: {timestamp}")
+            raise TraceFormatError(
+                f"negative timestamp at line {line_no}: {timestamp}"
+            )
         code = name_codes.get(etype)
         if code is None:
             code = len(names)
@@ -462,6 +533,335 @@ def decode_json_columns(text: str) -> TraceColumns:
         line_starts=np.array(line_starts, dtype=np.int64),
         line_ends=np.array(line_ends, dtype=np.int64),
     )
+
+
+# ---------------------------------------------------------------------- #
+# Resumable chunked decoders (streaming ingest)
+# ---------------------------------------------------------------------- #
+class BinaryColumnsDecoder:
+    """Resumable, chunk-fed counterpart of :func:`decode_binary_columns`.
+
+    Feed arbitrary byte ranges of a binary trace (they need not align with
+    record or segment boundaries); each :meth:`feed` returns the columns of
+    the records the chunk *completed* and buffers the partial trailing
+    record (or segment header) for the next call, so memory stays bounded
+    by one record/header plus the current chunk.  :attr:`resume_offset`
+    reports the absolute offset of the first unconsumed byte — the point a
+    re-opened reader should seek to.
+
+    Emitted chunks use one *global* type table grown across segments in the
+    same registry order as the one-shot decoder; every chunk's
+    ``type_names`` is the table so far (a prefix of the final table), so
+    concatenating the chunks reproduces the one-shot decode bit for bit.
+
+    :meth:`finish` marks end-of-stream: ending mid-header or mid-record is
+    then an error naming the absolute byte offset, exactly like a one-shot
+    decode of the same truncated blob.
+    """
+
+    __slots__ = (
+        "_buffer",
+        "_base",
+        "_names",
+        "_name_codes",
+        "_remap",
+        "_remaining",
+        "_previous",
+        "_saw_data",
+        "_finished",
+    )
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._base = 0  # absolute stream offset of _buffer[0]
+        self._names: list[str] = []
+        self._name_codes: dict[str, int] = {}
+        self._remap: np.ndarray | None = None  # active segment local→global
+        self._remaining = 0  # records left in the active segment
+        self._previous = 0  # previous absolute timestamp (segment-local)
+        self._saw_data = False
+        self._finished = False
+
+    @property
+    def resume_offset(self) -> int:
+        """Absolute byte offset of the first unconsumed byte."""
+        return self._base
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Global type table accumulated so far (first-appearance order)."""
+        return tuple(self._names)
+
+    def feed(self, chunk: bytes) -> TraceColumns:
+        """Consume ``chunk``; return columns for the records it completed."""
+        if self._finished:
+            raise TraceFormatError("cannot feed a finished decoder")
+        if chunk:
+            self._saw_data = True
+            self._buffer += bytes(chunk)
+        return self._drain(final=False)
+
+    def finish(self) -> TraceColumns:
+        """Mark end-of-stream; flush and validate the remaining buffer."""
+        if self._finished:
+            raise TraceFormatError("decoder already finished")
+        self._finished = True
+        if not self._saw_data:
+            raise TraceFormatError("not a binary trace (empty stream)")
+        columns = self._drain(final=True)
+        if self._remaining:
+            raise TraceFormatError(
+                f"truncated binary trace: segment promises "
+                f"{self._remaining} more event record(s) at byte offset "
+                f"{self._base}"
+            )
+        return columns
+
+    def _drain(self, final: bool) -> TraceColumns:
+        data = self._buffer
+        size = len(data)
+        pos = 0
+        timestamps: list[int] = []
+        codes: list[int] = []
+        cores: list[int] = []
+        static: list[int] = []
+        records: list[int] = []
+        while True:
+            if self._remaining == 0:
+                if pos >= size:
+                    break
+                header = self._try_header(data, pos, final)
+                if header is None:
+                    break
+                self._remap, self._remaining, pos = header
+                self._previous = 0
+                continue
+            parsed = _parse_record(data, pos)
+            if parsed is None:
+                if final:
+                    raise TraceFormatError(
+                        f"truncated event record at byte offset "
+                        f"{self._base + pos} (stream ends mid-record)"
+                    )
+                break
+            delta, code, core, static_size, end = parsed
+            remap = self._remap
+            assert remap is not None
+            if code >= len(remap):
+                raise TraceFormatError(
+                    f"unknown event-type code: {code} "
+                    f"at byte offset {self._base + pos}"
+                )
+            records.append(pos)
+            self._previous += delta
+            timestamps.append(self._previous)
+            codes.append(int(remap[code]))
+            cores.append(core)
+            static.append(static_size)
+            self._remaining -= 1
+            pos = end
+        self._buffer = data[pos:]
+        self._base += pos
+        return TraceColumns(
+            timestamps_us=np.array(timestamps, dtype=np.int64),
+            type_codes=np.array(codes, dtype=np.int32),
+            cores=np.array(cores, dtype=np.int64),
+            type_names=tuple(self._names),
+            static_sizes=np.array(static, dtype=np.int64),
+            source_kind="binary",
+            binary_data=data[:pos],
+            record_offsets=np.array(records, dtype=np.int64),
+        )
+
+    def _try_header(self, data: bytes, pos: int, final: bool):
+        """Parse a segment header at ``pos``; ``None`` when incomplete."""
+        size = len(data)
+        head = data[pos : pos + 4]
+        if len(head) < 4:
+            if not _MAGIC.startswith(head):
+                raise TraceFormatError(
+                    "not a binary trace (bad magic)"
+                    if self._base + pos == 0
+                    else "trailing bytes after binary trace segment (bad magic)"
+                )
+        elif head != _MAGIC:
+            raise TraceFormatError(
+                "not a binary trace (bad magic)"
+                if self._base + pos == 0
+                else "trailing bytes after binary trace segment (bad magic)"
+            )
+        header_end = size + 1  # assume incomplete until proven otherwise
+        if pos + 8 <= size:
+            (header_len,) = struct.unpack("<I", data[pos + 4 : pos + 8])
+            header_end = pos + 8 + header_len
+        if header_end > size:
+            if final:
+                raise TraceFormatError(
+                    f"truncated binary trace header at byte offset "
+                    f"{self._base + pos}"
+                )
+            return None
+        registry, count, body = _parse_segment_header(data, pos)
+        segment_names = registry.names
+        remap = np.empty(len(segment_names), dtype=np.int32)
+        for local, name in enumerate(segment_names):
+            code = self._name_codes.get(name)
+            if code is None:
+                code = len(self._names)
+                self._name_codes[name] = code
+                self._names.append(name)
+            remap[local] = code
+        return remap, count, body
+
+
+class JsonColumnsDecoder:
+    """Resumable, chunk-fed counterpart of :func:`decode_json_columns`.
+
+    Feed byte (or text) chunks of a JSON-lines trace; each :meth:`feed`
+    parses the lines the chunk completed and buffers the partial trailing
+    line — and any partial UTF-8 sequence — for the next call.
+    :meth:`finish` parses a final unterminated line exactly like the
+    one-shot decoder (a regular file's last line often lacks a newline);
+    a line that then fails to parse is reported with its 1-based line
+    number, as is any malformed line mid-stream.  :attr:`resume_line`
+    reports the next line a re-opened reader should start from.
+
+    Chunks share one global type table (first-appearance order), matching
+    the one-shot decode bit for bit when concatenated.
+    """
+
+    __slots__ = (
+        "_utf8",
+        "_pending",
+        "_lines_done",
+        "_name_codes",
+        "_names",
+        "_task_cache",
+        "_finished",
+    )
+
+    def __init__(self) -> None:
+        self._utf8 = codecs.getincrementaldecoder("utf-8")()
+        self._pending = ""  # text after the last consumed newline
+        self._lines_done = 0  # raw lines fully consumed so far
+        self._name_codes: dict[str, int] = {}
+        self._names: list[str] = []
+        self._task_cache: dict[str, int] = {}
+        self._finished = False
+
+    @property
+    def resume_line(self) -> int:
+        """1-based number of the first not-yet-consumed raw line."""
+        return self._lines_done + 1
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Global type table accumulated so far (first-appearance order)."""
+        return tuple(self._names)
+
+    def feed(self, chunk: "bytes | str") -> TraceColumns:
+        """Consume ``chunk``; return columns for the lines it completed."""
+        if self._finished:
+            raise TraceFormatError("cannot feed a finished decoder")
+        if isinstance(chunk, (bytes, bytearray)):
+            try:
+                text = self._utf8.decode(chunk)
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    f"invalid UTF-8 in JSON-lines stream near line "
+                    f"{self._lines_done + 1}"
+                ) from exc
+        else:
+            text = chunk
+        combined = self._pending + text
+        cut = combined.rfind("\n") + 1
+        self._pending = combined[cut:]
+        return self._parse(combined[:cut], final=False)
+
+    def finish(self) -> TraceColumns:
+        """Mark end-of-stream; parse the final (unterminated) line, if any."""
+        if self._finished:
+            raise TraceFormatError("decoder already finished")
+        self._finished = True
+        try:
+            tail = self._utf8.decode(b"", final=True)
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"truncated UTF-8 sequence at end of JSON-lines stream "
+                f"(line {self._lines_done + 1})"
+            ) from exc
+        text = self._pending + tail
+        self._pending = ""
+        return self._parse(text, final=True)
+
+    def _parse(self, text: str, final: bool) -> TraceColumns:
+        raw_lines = text.split("\n")
+        if not final:
+            # ``text`` is empty or newline-terminated: the final split
+            # element is the empty string after the last newline, not a line.
+            raw_lines = raw_lines[:-1]
+        timestamps: list[int] = []
+        codes: list[int] = []
+        cores: list[int] = []
+        static: list[int] = []
+        line_starts: list[int] = []
+        line_ends: list[int] = []
+        position = 0
+        for raw in raw_lines:
+            self._lines_done += 1
+            line_no = self._lines_done
+            start = position
+            position += len(raw) + 1
+            line = raw.strip()
+            if not line:
+                continue
+            lead = len(raw) - len(raw.lstrip())
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"malformed JSON event line {line_no}: {line!r}"
+                ) from exc
+            try:
+                timestamp = int(record["t"])
+                etype = str(record["type"])
+                core = int(record.get("core", 0))
+                task = str(record.get("task", ""))
+                args = dict(record.get("args", {}))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"malformed event record at line {line_no}: {record!r}"
+                ) from exc
+            if timestamp < 0:
+                raise TraceFormatError(
+                    f"negative timestamp at line {line_no}: {timestamp}"
+                )
+            code = self._name_codes.get(etype)
+            if code is None:
+                code = len(self._names)
+                self._name_codes[etype] = code
+                self._names.append(etype)
+            timestamps.append(timestamp)
+            codes.append(code)
+            cores.append(core)
+            static.append(
+                1
+                + _task_field_size(task, self._task_cache)
+                + _payload_field_size(args)
+            )
+            line_starts.append(start + lead)
+            line_ends.append(start + lead + len(line))
+        return TraceColumns(
+            timestamps_us=np.array(timestamps, dtype=np.int64),
+            type_codes=np.array(codes, dtype=np.int32),
+            cores=np.array(cores, dtype=np.int64),
+            type_names=tuple(self._names),
+            static_sizes=np.array(static, dtype=np.int64),
+            source_kind="jsonl",
+            text=text,
+            line_starts=np.array(line_starts, dtype=np.int64),
+            line_ends=np.array(line_ends, dtype=np.int64),
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -34,6 +34,14 @@ def _detect_format(path: Path) -> str:
     returning an empty event list.  Check
     :attr:`~repro.analysis.recorder.RecorderReport.recorded_bytes` (or the
     file size) before reading a recording that may legitimately be empty.
+
+    Streaming ingest is the one exception to the empty-file error: a
+    :class:`~repro.trace.streaming.FileTail` pointed at a zero-byte (or not
+    yet created) path simply waits for bytes under its idle/stop rules
+    instead of raising — while the file is still being written, "empty" is
+    a transient state, not a format error.  Only a stream that *ends*
+    without ever producing a byte reports the streaming analogue
+    (``"empty trace stream"``).
     """
     with path.open("rb") as handle:
         head = handle.read(4)

@@ -1,0 +1,804 @@
+"""Streaming columnar ingest: live trace sources as window-batch streams.
+
+The columnar plane (:mod:`repro.trace.columns`, :mod:`repro.trace.stream`)
+decodes *complete* files; production monitoring means unbounded sources — a
+trace file still being appended by the tracing hardware, or a pipe/socket
+delivering buffer flushes.  This module closes that gap:
+
+* :class:`FileTail` — follow a (possibly still-growing, possibly not yet
+  created) file, yielding byte chunks as they are appended, with a poll
+  interval, an optional idle timeout and a stop event;
+* :class:`PushFeed` — a thread-safe byte feed for pipes/sockets: a producer
+  thread ``write()``\\ s chunks and the ingest side iterates them through a
+  bounded :class:`~repro.trace.pipeline.BoundedHandoff`, so a slow consumer
+  exerts backpressure on the producer instead of buffering without bound;
+* :class:`StreamingWindowSource` — the heart of the module: consumes byte
+  chunks through the resumable decoders
+  (:class:`~repro.trace.columns.BinaryColumnsDecoder` /
+  :class:`~repro.trace.columns.JsonColumnsDecoder`), cuts windows
+  incrementally as events arrive, and emits
+  :class:`~repro.trace.batch.WindowBatch` micro-batches that are **bit
+  identical** to a one-shot read of the final file — same window extents,
+  same registry growth, same byte accounting, same lazily materialised
+  events.  Memory stays bounded: decoded events are discarded as soon as
+  the batch that owns them has been handed over.
+
+Every inter-stage queue follows the overrun/underrun policy of
+:class:`repro.media.bufferqueue.FrameBuffer`: explicit bounded depth,
+counted stalls on both ends, and occupancy sampling (see
+:class:`~repro.trace.pipeline.HandoffStats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from itertools import chain as _chain
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TraceFormatError, TraceStreamError
+from .batch import WindowBatch
+from .codec import _MAGIC
+from .columns import (
+    BinaryColumnsDecoder,
+    JsonColumnsDecoder,
+    TraceColumns,
+    encoded_window_sizes_columns,
+)
+from .event import EventTypeRegistry
+from .pipeline import BoundedHandoff, HandoffStats
+from .stream import WindowPolicy, _check_sorted_columns, _ColumnCodeMapper
+from .window import TraceWindow
+
+__all__ = [
+    "FileTail",
+    "PushFeed",
+    "StreamRecipe",
+    "StreamStats",
+    "StreamingWindowSource",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Byte-chunk sources
+# ---------------------------------------------------------------------- #
+class FileTail:
+    """Iterate the bytes of a possibly still-growing trace file.
+
+    Yields chunks of at most ``chunk_bytes`` as the file grows.  The
+    iteration ends when ``stop`` is set or when the file has not grown for
+    ``idle_timeout_s`` seconds (``None`` follows forever, like
+    ``tail -f``).  A file that does not exist yet is waited for under the
+    same idle/stop rules, so a monitor can be pointed at a trace path
+    before the tracer creates it.
+    """
+
+    def __init__(
+        self,
+        path: "Path | str",
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: float | None = None,
+        stop: threading.Event | None = None,
+        chunk_bytes: int = 1 << 20,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise TraceStreamError(
+                f"poll_interval_s must be positive (got {poll_interval_s})"
+            )
+        if idle_timeout_s is not None and idle_timeout_s < 0:
+            raise TraceStreamError(
+                f"idle_timeout_s must be >= 0 or None (got {idle_timeout_s})"
+            )
+        if chunk_bytes <= 0:
+            raise TraceStreamError(
+                f"chunk_bytes must be positive (got {chunk_bytes})"
+            )
+        self.path = Path(path)
+        self.poll_interval_s = float(poll_interval_s)
+        self.idle_timeout_s = (
+            None if idle_timeout_s is None else float(idle_timeout_s)
+        )
+        self.chunk_bytes = int(chunk_bytes)
+        self._stop = stop if stop is not None else threading.Event()
+        self.bytes_read = 0
+
+    def stop(self) -> None:
+        """Ask the iteration to end at the next poll."""
+        self._stop.set()
+
+    def __iter__(self) -> Iterator[bytes]:
+        handle = None
+        deadline: float | None = None
+        try:
+            while not self._stop.is_set():
+                if handle is None and self.path.exists():
+                    handle = self.path.open("rb")
+                if handle is not None:
+                    data = handle.read(self.chunk_bytes)
+                    if data:
+                        deadline = None
+                        self.bytes_read += len(data)
+                        yield data
+                        continue
+                if self.idle_timeout_s is not None:
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + self.idle_timeout_s
+                    if now >= deadline:
+                        return
+                time.sleep(self.poll_interval_s)
+        finally:
+            if handle is not None:
+                handle.close()
+
+
+class PushFeed:
+    """Thread-safe byte feed with backpressure, for pipes and sockets.
+
+    A producer thread (reading a socket, a subprocess pipe, …) calls
+    :meth:`write` with byte chunks and :meth:`close` at end-of-stream; the
+    ingest side iterates the feed.  The hand-off queue is bounded, so a
+    producer that outruns the monitor blocks in :meth:`write` (one counted
+    stall per wait) instead of buffering without bound.  Abandoning the
+    consuming iterator unblocks any stuck writer with a
+    :class:`~repro.errors.TraceStreamError`.
+    """
+
+    _DONE = ("done", None)
+
+    def __init__(self, depth: int = 8, stats: HandoffStats | None = None) -> None:
+        self._handoff: BoundedHandoff = BoundedHandoff(depth, stats=stats)
+        self._closed = False
+        self._abandoned = threading.Event()
+
+    @property
+    def stats(self) -> HandoffStats:
+        """Occupancy/stall counters of the feed's hand-off queue."""
+        return self._handoff.stats
+
+    def write(self, data: bytes) -> None:
+        """Queue ``data``, blocking while the monitor is ``depth`` behind."""
+        if self._closed:
+            raise TraceStreamError("cannot write to a closed feed")
+        if not data:
+            return
+        if not self._handoff.put(("item", bytes(data)), stop=self._abandoned):
+            raise TraceStreamError("feed consumer is gone (iterator abandoned)")
+
+    def close(self) -> None:
+        """Mark end-of-stream (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handoff.put(self._DONE, stop=self._abandoned)
+
+    def __iter__(self) -> Iterator[bytes]:
+        try:
+            while True:
+                kind, value = self._handoff.get()
+                if kind == "done":
+                    return
+                yield value
+        finally:
+            self._abandoned.set()
+            self._handoff.drain()
+
+
+# ---------------------------------------------------------------------- #
+# Streaming windowing
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamRecipe:
+    """Windowing parameters of a streaming source (picklable).
+
+    ``format`` applies to byte feeds only: ``"auto"`` sniffs the first
+    four bytes for the binary magic, exactly like the file reader.
+    ``window_duration_us`` left at ``None`` defers to the monitor
+    configuration at activation, mirroring
+    :class:`~repro.trace.stream.ColumnarWindowSource`.
+    """
+
+    format: str = "auto"
+    policy: WindowPolicy = WindowPolicy.BY_DURATION
+    window_duration_us: int | None = None
+    events_per_window: int = 256
+    start_us: int = 0
+    emit_empty: bool = True
+
+    def __post_init__(self) -> None:
+        if self.format not in {"auto", "binary", "jsonl"}:
+            raise TraceStreamError(f"unknown stream format: {self.format!r}")
+        if self.window_duration_us is not None and self.window_duration_us <= 0:
+            raise TraceStreamError("window_duration_us must be positive")
+        if self.events_per_window <= 0:
+            raise TraceStreamError("events_per_window must be positive")
+
+
+@dataclass
+class StreamStats:
+    """Progress and memory-bound accounting of one streaming source."""
+
+    chunks: int = 0
+    events: int = 0
+    windows: int = 0
+    batches: int = 0
+    #: High-water mark of decoded events buffered at once — the quantity
+    #: the bounded-memory guarantee is about: it tracks batch size and
+    #: window extent, not source size.
+    peak_buffered_events: int = 0
+    feed: HandoffStats | None = None
+
+
+class _StreamCodeMapper(_ColumnCodeMapper):
+    """A :class:`_ColumnCodeMapper` whose type table grows with the stream.
+
+    The registry snapshot is taken once, at construction (exactly when the
+    one-shot ``batches_from_layout`` takes it); names that appear later in
+    the stream extend the map against that same snapshot, so the
+    stream-global code assignment matches the one-shot decode bit for bit.
+    """
+
+    __slots__ = ("_known",)
+
+    def __init__(self, registry: EventTypeRegistry) -> None:
+        self.names = ()
+        self._known = registry.to_dict()
+        self.map = np.empty(0, dtype=np.int32)
+
+    def extend(self, names: Sequence[str]) -> None:
+        if len(names) == len(self.names):
+            return
+        fresh = tuple(names[len(self.names) :])
+        self.names = tuple(names)
+        addition = np.fromiter(
+            (self._known.get(name, -1) for name in fresh),
+            dtype=np.int32,
+            count=len(fresh),
+        )
+        self.map = np.concatenate((self.map, addition))
+
+
+class _SpanView:
+    """Duck-typed :class:`TraceColumns` stand-in for byte accounting.
+
+    :func:`~repro.trace.columns.encoded_window_sizes_columns` only touches
+    the flat arrays and the type-table length, so the streaming batch
+    builder hands it the window buffers directly instead of building a
+    throwaway :class:`TraceColumns`.
+    """
+
+    __slots__ = ("timestamps_us", "type_codes", "cores", "static_sizes", "type_names")
+
+    def __init__(self, timestamps_us, type_codes, cores, static_sizes, type_names):
+        self.timestamps_us = timestamps_us
+        self.type_codes = type_codes
+        self.cores = cores
+        self.static_sizes = static_sizes
+        self.type_names = type_names
+
+
+def _chain_events(
+    chunks: Sequence[Tuple[int, TraceColumns]], start: int, stop: int
+) -> tuple:
+    """Materialise events ``start <= i < stop`` across retained chunks."""
+    if start >= stop:
+        return ()
+    parts = []
+    for chunk_start, chunk in chunks:
+        chunk_end = chunk_start + len(chunk)
+        if chunk_end <= start or chunk_start >= stop:
+            continue
+        parts.append(
+            chunk.events(
+                max(start, chunk_start) - chunk_start,
+                min(stop, chunk_end) - chunk_start,
+            )
+        )
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(_chain.from_iterable(parts))
+
+
+class StreamingWindowSource:
+    """A live trace stream as monitor-ready window batches, bounded memory.
+
+    Construct from ``byte_chunks`` (any iterable of byte chunks — a
+    :class:`FileTail`, a :class:`PushFeed`, a socket reader) or from
+    ``columns_chunks`` (already-decoded :class:`TraceColumns` chunks, as
+    shipped over the parallel fleet's per-shard channels).  The source is
+    single-pass and duck-types
+    :meth:`~repro.trace.stream.ColumnarWindowSource.batches`, so it is
+    accepted anywhere a fleet shard is.
+
+    The emitted batches are bit-identical to a one-shot columnar read of
+    the final stream contents: same window layout, same registry growth
+    order, same ``dims``/byte-size accounting, same lazily materialised
+    events.  Decoded events are discarded once the batch owning them has
+    been yielded, so the buffered high-water mark
+    (``stats.peak_buffered_events``) scales with ``batch_size`` times the
+    window event count — never with the stream length.
+    """
+
+    def __init__(
+        self,
+        byte_chunks: Iterable[bytes] | None = None,
+        *,
+        columns_chunks: Iterable[TraceColumns] | None = None,
+        recipe: StreamRecipe | None = None,
+        stats: StreamStats | None = None,
+    ) -> None:
+        if (byte_chunks is None) == (columns_chunks is None):
+            raise TraceStreamError(
+                "exactly one of byte_chunks / columns_chunks must be given"
+            )
+        self.recipe = recipe if recipe is not None else StreamRecipe()
+        self.stats = stats if stats is not None else StreamStats()
+        self._byte_chunks = byte_chunks
+        self._columns_chunks = columns_chunks
+        self._columns_iter: Iterator[TraceColumns] | None = None
+        self._exhausted = False
+        self._batches_started = False
+        self._duration: int | None = None
+        # Stream-global type table (first-appearance order across chunks).
+        self._global_names: list[str] = []
+        self._global_codes: dict[str, int] = {}
+        # Event buffers: absolute event index of element 0 is _buf_base.
+        self._ts_buf = np.empty(0, dtype=np.int64)
+        self._code_buf = np.empty(0, dtype=np.int32)
+        self._core_buf = np.empty(0, dtype=np.int64)
+        self._static_buf = np.empty(0, dtype=np.int64)
+        self._buf_base = 0
+        self._events_total = 0
+        self._last_ts: int | None = None
+        self._chunk_chain: List[Tuple[int, TraceColumns]] = []
+        # Completed (but not yet batched) windows: absolute event spans.
+        self._win_lo: list[int] = []
+        self._win_hi: list[int] = []
+        self._win_index: list[int] = []
+        self._win_start: list[int] = []
+        self._win_end: list[int] = []
+        self._win_cursor = 0
+        self._windows_emitted = 0
+        self._consumed_abs = 0
+        # Policy state.
+        self._next_slot = 0  # BY_DURATION: first incomplete slot
+        self._assigned_abs = 0  # BY_COUNT: first unassigned event
+        self._count_window_start: int | None = None
+        self._count_boundary: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def follow(
+        cls,
+        path: "Path | str",
+        *,
+        recipe: StreamRecipe | None = None,
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: float | None = None,
+        stop: threading.Event | None = None,
+        chunk_bytes: int = 1 << 20,
+        stats: StreamStats | None = None,
+    ) -> "StreamingWindowSource":
+        """Follow ``path`` as it grows (see :class:`FileTail`)."""
+        tail = FileTail(
+            path,
+            poll_interval_s=poll_interval_s,
+            idle_timeout_s=idle_timeout_s,
+            stop=stop,
+            chunk_bytes=chunk_bytes,
+        )
+        source = cls(byte_chunks=tail, recipe=recipe, stats=stats)
+        source.tail = tail
+        return source
+
+    # ------------------------------------------------------------------ #
+    # Chunk intake
+    # ------------------------------------------------------------------ #
+    def _ensure_started(self, default_window_duration_us: int) -> None:
+        if self._columns_iter is not None:
+            return
+        duration = (
+            self.recipe.window_duration_us
+            if self.recipe.window_duration_us is not None
+            else default_window_duration_us
+        )
+        if duration <= 0:
+            raise TraceStreamError("window_duration_us must be positive")
+        self._duration = int(duration)
+        if self._columns_chunks is not None:
+            self._columns_iter = iter(self._columns_chunks)
+        else:
+            self._columns_iter = self._decode_chunks(self._byte_chunks)
+
+    def _decode_chunks(self, byte_chunks: Iterable[bytes]) -> Iterator[TraceColumns]:
+        fmt = self.recipe.format
+        head = b""
+        decoder = None
+        for raw in byte_chunks:
+            if not raw:
+                continue
+            data = bytes(raw)
+            if decoder is None:
+                head += data
+                if fmt == "auto" and len(head) < 4:
+                    continue
+                decoder = self._make_decoder(head, fmt)
+                data, head = head, b""
+            columns = decoder.feed(data)
+            if len(columns):
+                yield columns
+        if decoder is None:
+            if not head:
+                # Streaming analogue of the reader's empty-file error: the
+                # stream *ended* (stop / idle timeout) without any bytes.
+                raise TraceFormatError("empty trace stream")
+            decoder = self._make_decoder(head, fmt)
+            columns = decoder.feed(head)
+            if len(columns):
+                yield columns
+        tail = decoder.finish()
+        if len(tail):
+            yield tail
+
+    @staticmethod
+    def _make_decoder(head: bytes, fmt: str):
+        if fmt == "auto":
+            fmt = "binary" if _MAGIC.startswith(head[:4]) else "jsonl"
+        return BinaryColumnsDecoder() if fmt == "binary" else JsonColumnsDecoder()
+
+    def columns_chunks(self) -> Iterator[TraceColumns]:
+        """The decoded chunk stream itself (single-pass; for shard feeders).
+
+        Consuming this bypasses the windowing machinery — used by the
+        parallel fleet, whose parent process pumps decoded chunks over a
+        bounded channel while the worker rebuilds an identical source from
+        them (:meth:`with_columns_chunks`).
+        """
+        if self._batches_started or self._columns_iter is not None:
+            raise TraceStreamError("stream already consumed")
+        self._batches_started = True
+        if self._columns_chunks is not None:
+            return iter(self._columns_chunks)
+        return self._decode_chunks(self._byte_chunks)
+
+    def with_columns_chunks(
+        self, columns_chunks: Iterable[TraceColumns]
+    ) -> "StreamingWindowSource":
+        """A fresh source with the same recipe over pre-decoded chunks."""
+        return StreamingWindowSource(
+            columns_chunks=columns_chunks, recipe=self.recipe
+        )
+
+    def _pump(self) -> bool:
+        """Advance by one chunk; ``False`` once exhausted (and finalised)."""
+        if self._exhausted:
+            return False
+        assert self._columns_iter is not None
+        try:
+            chunk = next(self._columns_iter)
+        except StopIteration:
+            self._exhausted = True
+            self._finalize_windows()
+            return False
+        self._extend(chunk)
+        return True
+
+    def _extend(self, chunk: TraceColumns) -> None:
+        self.stats.chunks += 1
+        n = len(chunk)
+        if n:
+            remap = np.empty(len(chunk.type_names), dtype=np.int32)
+            for local, name in enumerate(chunk.type_names):
+                code = self._global_codes.get(name)
+                if code is None:
+                    code = len(self._global_names)
+                    self._global_codes[name] = code
+                    self._global_names.append(name)
+                remap[local] = code
+            timestamps = chunk.timestamps_us
+            first_ts = int(timestamps[0])
+            if self._last_ts is not None and first_ts < self._last_ts:
+                raise TraceStreamError(
+                    "event stream is not sorted by timestamp "
+                    f"({first_ts} after {self._last_ts})"
+                )
+            _check_sorted_columns(timestamps)
+            if self._events_total == 0 and first_ts < self.recipe.start_us:
+                raise TraceStreamError(
+                    f"event at t={first_ts} precedes stream start "
+                    f"{self.recipe.start_us}"
+                )
+            self._ts_buf = np.concatenate((self._ts_buf, timestamps))
+            self._code_buf = np.concatenate(
+                (self._code_buf, remap[chunk.type_codes])
+            )
+            self._core_buf = np.concatenate((self._core_buf, chunk.cores))
+            self._static_buf = np.concatenate(
+                (self._static_buf, chunk.static_sizes)
+            )
+            self._chunk_chain.append((self._events_total, chunk))
+            self._events_total += n
+            self.stats.events += n
+            self._last_ts = int(timestamps[-1])
+        self._advance_windows(final=False)
+        if len(self._ts_buf) > self.stats.peak_buffered_events:
+            self.stats.peak_buffered_events = len(self._ts_buf)
+
+    # ------------------------------------------------------------------ #
+    # Incremental windowing
+    # ------------------------------------------------------------------ #
+    def _advance_windows(self, final: bool) -> None:
+        if self.recipe.policy is WindowPolicy.BY_DURATION:
+            self._advance_duration(final)
+        elif self.recipe.policy is WindowPolicy.BY_COUNT:
+            self._advance_count(final)
+        else:
+            raise TraceStreamError(
+                f"unknown window policy: {self.recipe.policy!r}"
+            )
+
+    def _advance_duration(self, final: bool) -> None:
+        duration = self._duration
+        assert duration is not None
+        start0 = self.recipe.start_us
+        if self._events_total == 0:
+            if final and self.recipe.emit_empty and self._windows_emitted == 0:
+                # One-shot layout of an empty trace: a single empty window.
+                self._push_window(0, start0, start0 + duration, 0, 0)
+            return
+        assert self._last_ts is not None
+        last_slot = (self._last_ts - start0) // duration
+        # A slot is complete once an event at/after its end has arrived;
+        # at end-of-stream the slot holding the last event completes too.
+        until = last_slot + 1 if final else last_slot
+        if until <= self._next_slot:
+            return
+        bounds = start0 + duration * np.arange(
+            self._next_slot, until + 1, dtype=np.int64
+        )
+        relative = np.searchsorted(self._ts_buf, bounds, side="left")
+        for k in range(len(bounds) - 1):
+            lo = int(relative[k]) + self._buf_base
+            hi = int(relative[k + 1]) + self._buf_base
+            if hi > lo or self.recipe.emit_empty:
+                index = (
+                    self._next_slot + k
+                    if self.recipe.emit_empty
+                    else self._windows_emitted
+                )
+                self._push_window(
+                    index, int(bounds[k]), int(bounds[k + 1]), lo, hi
+                )
+        self._assigned_abs = int(relative[-1]) + self._buf_base
+        self._next_slot = until
+
+    def _advance_count(self, final: bool) -> None:
+        per_window = self.recipe.events_per_window
+        while self._events_total - self._assigned_abs >= per_window:
+            self._cut_count_window(self._assigned_abs + per_window)
+        if final and self._events_total > self._assigned_abs:
+            self._cut_count_window(self._events_total)
+
+    def _cut_count_window(self, hi: int) -> None:
+        lo = self._assigned_abs
+        first_ts = int(self._ts_buf[lo - self._buf_base])
+        last_ts = int(self._ts_buf[hi - 1 - self._buf_base])
+        if self._windows_emitted == 0:
+            if first_ts < self.recipe.start_us:
+                raise TraceFormatError(
+                    f"event at t={first_ts} outside window "
+                    f"[{self.recipe.start_us}, {last_ts + 1})"
+                )
+            start = self.recipe.start_us
+        elif first_ts == self._count_boundary:
+            # Duplicate boundary timestamp: the window starts *at* the
+            # boundary so the event falls inside its half-open extent.
+            start = self._count_boundary
+        else:
+            start = self._count_boundary + 1
+        self._push_window(self._windows_emitted, start, last_ts + 1, lo, hi)
+        self._count_boundary = last_ts
+        self._assigned_abs = hi
+
+    def _push_window(
+        self, index: int, start_us: int, end_us: int, lo: int, hi: int
+    ) -> None:
+        self._win_index.append(index)
+        self._win_start.append(start_us)
+        self._win_end.append(end_us)
+        self._win_lo.append(lo)
+        self._win_hi.append(hi)
+        self._windows_emitted += 1
+        self.stats.windows += 1
+
+    def _finalize_windows(self) -> None:
+        self._advance_windows(final=True)
+
+    def _available(self) -> int:
+        return len(self._win_index) - self._win_cursor
+
+    # ------------------------------------------------------------------ #
+    # Consumption
+    # ------------------------------------------------------------------ #
+    def reference_windows(
+        self,
+        reference_duration_us: int,
+        default_window_duration_us: int = 40_000,
+    ) -> list[TraceWindow]:
+        """Consume the stream's reference prefix as materialised windows.
+
+        Returns every window whose extent ends at or before
+        ``start_us + reference_duration_us`` — exactly the prefix
+        :meth:`TraceMonitor.run_on_columns` splits off for reference
+        learning.  Must be called before :meth:`batches`.
+        """
+        if reference_duration_us <= 0:
+            raise TraceStreamError("reference_duration_us must be positive")
+        if self._batches_started:
+            raise TraceStreamError("stream already consumed")
+        self._ensure_started(default_window_duration_us)
+        boundary = self.recipe.start_us + reference_duration_us
+        while not self._win_end or self._win_end[-1] <= boundary:
+            if not self._pump():
+                break
+        first_live = 0
+        while (
+            first_live < len(self._win_end)
+            and self._win_end[first_live] <= boundary
+        ):
+            first_live += 1
+        windows = [
+            TraceWindow(
+                index=self._win_index[w],
+                start_us=self._win_start[w],
+                end_us=self._win_end[w],
+                events=_chain_events(
+                    self._chunk_chain, self._win_lo[w], self._win_hi[w]
+                ),
+            )
+            for w in range(first_live)
+        ]
+        self._win_cursor = first_live
+        if first_live:
+            self._consumed_abs = self._win_hi[first_live - 1]
+            self._compact()
+        return windows
+
+    def batches(
+        self,
+        registry: EventTypeRegistry,
+        batch_size: int,
+        default_window_duration_us: int = 40_000,
+    ) -> Iterator[WindowBatch]:
+        """Yield the stream's window batches against ``registry``.
+
+        Single-pass: pulls chunks from the source on demand, yields a
+        batch as soon as ``batch_size`` windows have completed (only the
+        final batch may be shorter), and releases buffered events once
+        their batch is out.  Signature-compatible with
+        :meth:`~repro.trace.stream.ColumnarWindowSource.batches`, so the
+        fleet treats both source kinds uniformly.
+        """
+        if batch_size <= 0:
+            raise TraceStreamError("batch_size must be positive")
+        if self._batches_started:
+            raise TraceStreamError("stream already consumed")
+        self._batches_started = True
+        self._ensure_started(default_window_duration_us)
+
+        def _generate() -> Iterator[WindowBatch]:
+            mapper = _StreamCodeMapper(registry)
+            while True:
+                while self._available() >= batch_size:
+                    yield self._build_batch(registry, mapper, batch_size)
+                if not self._pump():
+                    break
+            while self._available():
+                yield self._build_batch(
+                    registry, mapper, min(batch_size, self._available())
+                )
+
+        return _generate()
+
+    def _build_batch(
+        self,
+        registry: EventTypeRegistry,
+        mapper: _StreamCodeMapper,
+        n_windows: int,
+    ) -> WindowBatch:
+        cursor = self._win_cursor
+        stop = cursor + n_windows
+        offsets_abs = np.empty(n_windows + 1, dtype=np.int64)
+        offsets_abs[:-1] = self._win_lo[cursor:stop]
+        offsets_abs[-1] = self._win_hi[stop - 1]
+        lo_abs, hi_abs = int(offsets_abs[0]), int(offsets_abs[-1])
+        rel_lo = lo_abs - self._buf_base
+        rel_hi = hi_abs - self._buf_base
+        file_codes = self._code_buf[rel_lo:rel_hi]
+        mapper.extend(self._global_names)
+        dimension_before = len(registry)
+        growth = mapper.register_span(file_codes, lo_abs, registry)
+        codes = mapper.map[file_codes]
+        if growth.size:
+            dims = dimension_before + np.searchsorted(
+                growth, offsets_abs[1:], side="left"
+            )
+        else:
+            dims = np.full(n_windows, dimension_before, dtype=np.int64)
+        sizes = encoded_window_sizes_columns(
+            _SpanView(
+                self._ts_buf,
+                self._code_buf,
+                self._core_buf,
+                self._static_buf,
+                tuple(self._global_names),
+            ),
+            offsets_abs - self._buf_base,
+        )
+        indices = np.array(self._win_index[cursor:stop], dtype=np.int64)
+        starts = np.array(self._win_start[cursor:stop], dtype=np.int64)
+        ends = np.array(self._win_end[cursor:stop], dtype=np.int64)
+        span_chunks = [
+            (chunk_start, chunk)
+            for chunk_start, chunk in self._chunk_chain
+            if chunk_start < hi_abs and chunk_start + len(chunk) > lo_abs
+        ]
+        offsets_snapshot = offsets_abs.copy()
+
+        def factory(position: int) -> TraceWindow:
+            return TraceWindow(
+                index=int(indices[position]),
+                start_us=int(starts[position]),
+                end_us=int(ends[position]),
+                events=_chain_events(
+                    span_chunks,
+                    int(offsets_snapshot[position]),
+                    int(offsets_snapshot[position + 1]),
+                ),
+            )
+
+        batch = WindowBatch(
+            codes=codes,
+            offsets=offsets_abs - lo_abs,
+            indices=indices,
+            start_us=starts,
+            end_us=ends,
+            dims=dims,
+            dimension=len(registry),
+            windows=None,
+            window_sizes=sizes,
+            window_factory=factory,
+        )
+        self._win_cursor = stop
+        self._consumed_abs = hi_abs
+        self.stats.batches += 1
+        self._compact()
+        return batch
+
+    def _compact(self) -> None:
+        """Release buffered events and windows already handed over."""
+        cut = self._consumed_abs - self._buf_base
+        if cut > 0:
+            self._ts_buf = self._ts_buf[cut:].copy()
+            self._code_buf = self._code_buf[cut:].copy()
+            self._core_buf = self._core_buf[cut:].copy()
+            self._static_buf = self._static_buf[cut:].copy()
+            self._buf_base = self._consumed_abs
+            self._chunk_chain = [
+                (chunk_start, chunk)
+                for chunk_start, chunk in self._chunk_chain
+                if chunk_start + len(chunk) > self._consumed_abs
+            ]
+        if self._win_cursor:
+            del self._win_index[: self._win_cursor]
+            del self._win_start[: self._win_cursor]
+            del self._win_end[: self._win_cursor]
+            del self._win_lo[: self._win_cursor]
+            del self._win_hi[: self._win_cursor]
+            self._win_cursor = 0
