@@ -18,8 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from ..errors import ModelError
 from .pmf import Pmf, _zero_extended
+
+#: Anything accepted as a distribution: a Pmf or raw weights array-like.
+DistributionLike = "Pmf | ArrayLike"
+
 
 __all__ = [
     "kl_divergence",
@@ -43,7 +49,7 @@ def _smooth_normalise(raw: np.ndarray, smoothing: float) -> np.ndarray:
     return values / total
 
 
-def _raw_vector(value) -> tuple[np.ndarray, bool]:
+def _raw_vector(value: DistributionLike) -> tuple[np.ndarray, bool]:
     """Return ``(raw non-negative vector, is_pmf)`` for ``value``."""
     if isinstance(value, Pmf):
         return value.counts, True
@@ -55,7 +61,9 @@ def _raw_vector(value) -> tuple[np.ndarray, bool]:
     return array, False
 
 
-def _as_distributions(p, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
+def _as_distributions(
+    p: DistributionLike, q: DistributionLike, smoothing: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Convert both arguments to smoothed, normalised, same-length vectors.
 
     Two :class:`~repro.analysis.pmf.Pmf` arguments may have different lengths
@@ -79,7 +87,7 @@ def _as_distributions(p, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
     return _smooth_normalise(p_raw, smoothing), _smooth_normalise(q_raw, smoothing)
 
 
-def kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+def kl_divergence(p: DistributionLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     """Kullback-Leibler divergence ``D(p || q)`` in nats.
 
     Both arguments are smoothed and normalised first, so the result is always
@@ -90,7 +98,7 @@ def kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     return float(np.sum(p_vec * (np.log(p_vec) - np.log(q_vec))))
 
 
-def symmetric_kl_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+def symmetric_kl_divergence(p: DistributionLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     """Symmetrised KL divergence ``(D(p||q) + D(q||p)) / 2``.
 
     This is the quantity the online detector actually thresholds: the paper
@@ -121,7 +129,9 @@ def _symmetric_kl_raw(
     return 0.5 * (kl_pq + kl_qp)
 
 
-def _rows_and_reference(p_rows, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
+def _rows_and_reference(
+    p_rows: ArrayLike, q: DistributionLike, smoothing: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Validate and smooth-normalise a row matrix and a reference vector."""
     if smoothing < 0:
         raise ModelError("smoothing must be >= 0")
@@ -143,7 +153,7 @@ def _rows_and_reference(p_rows, q, smoothing: float) -> tuple[np.ndarray, np.nda
     return values / totals[:, None], _smooth_normalise(q_raw, smoothing)
 
 
-def kl_divergence_matrix(p_rows, q, smoothing: float = _DEFAULT_SMOOTHING) -> np.ndarray:
+def kl_divergence_matrix(p_rows: ArrayLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING) -> np.ndarray:
     """Row-wise KL divergence ``D(p_i || q)`` for a matrix of distributions.
 
     ``p_rows`` is one distribution (raw counts or probabilities) per row;
@@ -155,7 +165,7 @@ def kl_divergence_matrix(p_rows, q, smoothing: float = _DEFAULT_SMOOTHING) -> np
 
 
 def symmetric_kl_divergence_matrix(
-    p_rows, q, smoothing: float = _DEFAULT_SMOOTHING
+    p_rows: ArrayLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING
 ) -> np.ndarray:
     """Row-wise symmetrised KL divergence against one reference distribution.
 
@@ -170,7 +180,7 @@ def symmetric_kl_divergence_matrix(
     return 0.5 * (forward + backward)
 
 
-def js_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+def js_divergence(p: DistributionLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     """Jensen-Shannon divergence (bounded by ``log 2``, symmetric)."""
     p_vec, q_vec = _as_distributions(p, q, smoothing)
     mixture = 0.5 * (p_vec + q_vec)
@@ -180,7 +190,7 @@ def js_divergence(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     )
 
 
-def total_variation_distance(p, q, smoothing: float = 0.0) -> float:
+def total_variation_distance(p: DistributionLike, q: DistributionLike, smoothing: float = 0.0) -> float:
     """Total-variation distance ``0.5 * sum |p - q|`` (in [0, 1])."""
     p_vec, q_vec = _as_distributions(
         p, q, smoothing if smoothing > 0 else _DEFAULT_SMOOTHING
@@ -188,7 +198,7 @@ def total_variation_distance(p, q, smoothing: float = 0.0) -> float:
     return 0.5 * float(np.abs(p_vec - q_vec).sum())
 
 
-def hellinger_distance(p, q, smoothing: float = _DEFAULT_SMOOTHING) -> float:
+def hellinger_distance(p: DistributionLike, q: DistributionLike, smoothing: float = _DEFAULT_SMOOTHING) -> float:
     """Hellinger distance (in [0, 1]); sometimes used instead of KL for pmfs."""
     p_vec, q_vec = _as_distributions(p, q, smoothing)
     return float(np.sqrt(0.5 * np.sum((np.sqrt(p_vec) - np.sqrt(q_vec)) ** 2)))

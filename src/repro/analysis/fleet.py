@@ -373,9 +373,32 @@ class ShardedTraceMonitor:
                     continue
                 self._process_batch(shard, batch)
                 active.append(shard)
-        finally:
+        except BaseException:
+            # Already unwinding: close everything best-effort so one failing
+            # recorder cannot leak the rest, but let the original error win.
             for shard in opened:
+                try:
+                    shard.recorder.close()
+                except Exception:
+                    _LOGGER.exception(
+                        "shard %r recorder close failed during unwind", shard.label
+                    )
+            raise
+        close_error: Exception | None = None
+        for shard in opened:
+            try:
                 shard.recorder.close()
+            except Exception as exc:
+                # Keep closing the remaining shards — the documented
+                # guarantee is that every shard's output file is closed —
+                # then surface the first failure.
+                if close_error is None:
+                    close_error = exc
+                _LOGGER.exception(
+                    "shard %r recorder close failed", shard.label
+                )
+        if close_error is not None:
+            raise close_error
 
         return {label: results[label] for label in labels}
 

@@ -12,6 +12,7 @@ and the model, i.e. everything the evaluation layer needs.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -66,7 +67,7 @@ def build_shard_pipeline(
     model: ReferenceModel,
     detector_config: DetectorConfig,
     monitor_config: MonitorConfig,
-    registry_names,
+    registry_names: Iterable[str],
     output_path: str | Path | None = None,
     keep_events: bool = False,
 ) -> tuple[EventTypeRegistry, OnlineAnomalyDetector, SelectiveTraceRecorder]:
@@ -103,7 +104,7 @@ def shard_output_path(
 
 
 def shard_batches(
-    source,
+    source: "Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource",
     registry: EventTypeRegistry,
     monitor_config: MonitorConfig,
 ) -> "Iterable[WindowBatch]":
@@ -557,7 +558,7 @@ class TraceMonitor:
         prefetch_batches: int = 0,
         poll_interval_s: float = 0.05,
         idle_timeout_s: float | None = None,
-        stop=None,
+        stop: threading.Event | None = None,
         chunk_bytes: int = 1 << 20,
     ) -> MonitorResult:
         """Follow a (possibly still-growing) trace file and monitor it live.

@@ -87,7 +87,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import chain
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import FleetError, TraceStreamError
@@ -171,7 +171,7 @@ class _ShardOutcome:
 
 
 #: Per-process worker context, set by :func:`_initialize_worker`.
-_WORKER_STATE: _WorkerState | None = None
+_WORKER_STATE: _WorkerState | None = None  # repro: fork-shared
 
 #: Fork-inheritance staging area: the parent parks every shard's
 #: materialised window source (window tuple or columnar source) here
@@ -180,12 +180,12 @@ _WORKER_STATE: _WorkerState | None = None
 #: queue.  Always reset to ``None`` in the parent once the pool is done.
 _SHARD_WINDOWS: (
     dict[str, tuple[TraceWindow, ...] | TraceColumns | ColumnarWindowSource] | None
-) = None
+) = None  # repro: fork-shared
 
 #: Fork-inheritance staging area for the chunked transport's per-shard
 #: bounded channels (:class:`multiprocessing.Queue`), keyed by shard label.
 #: Always reset to ``None`` in the parent once the pool is done.
-_SHARD_CHANNELS: "dict[str, object] | None" = None
+_SHARD_CHANNELS: "dict[str, object] | None" = None  # repro: fork-shared
 
 #: How long channel operations wait before re-checking for shutdown
 #: (feeder side: the run was abandoned; worker side: the parent died).
@@ -204,7 +204,7 @@ def fork_transport_available() -> bool:
     return multiprocessing.get_start_method() == "fork"
 
 
-def _channel_put(channel, message, stop: threading.Event) -> bool:
+def _channel_put(channel: Any, message: object, stop: threading.Event) -> bool:
     """Put ``message`` on a bounded channel; ``False`` once ``stop`` fires."""
     while not stop.is_set():
         try:
@@ -216,7 +216,7 @@ def _channel_put(channel, message, stop: threading.Event) -> bool:
 
 
 def _feed_channel(
-    channel, chunks: Iterable, stop: threading.Event, label: str
+    channel: Any, chunks: Iterable, stop: threading.Event, label: str
 ) -> None:
     """Parent-side feeder: pump ``chunks`` over a bounded shard channel.
 
@@ -252,7 +252,7 @@ def _window_chunks(
         yield block
 
 
-def _iter_channel_chunks(channel, label: str) -> Iterator:
+def _iter_channel_chunks(channel: Any, label: str) -> Iterator:
     """Worker-side channel reader: yield chunks until ``done`` or failure.
 
     Polls with a timeout and checks parent liveness between polls — a
@@ -524,8 +524,13 @@ def monitor_shards_parallel(
         for channel in channels.values():
             close = getattr(channel, "close", None)
             if close is not None and manager is None:
-                channel.cancel_join_thread()
-                close()
+                try:
+                    channel.cancel_join_thread()
+                    close()
+                except (OSError, ValueError):
+                    # Best-effort teardown: a channel whose queue feeder
+                    # already died must not keep the rest from closing.
+                    pass
         if manager is not None:
             manager.shutdown()
     for label in labels:

@@ -23,7 +23,7 @@ are replaced by "same as window i" markers; every distinct behaviour is kept.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from numpy.typing import DTypeLike
+
 import numpy as np
 
 from ..errors import ModelError
@@ -292,7 +294,7 @@ def merge_counts(mine: np.ndarray, theirs: np.ndarray, decay: float) -> np.ndarr
 
 
 def pmf_matrix(
-    batch: WindowBatch, registry: EventTypeRegistry, dtype=float
+    batch: WindowBatch, registry: EventTypeRegistry, dtype: DTypeLike = float
 ) -> np.ndarray:
     """Per-window event-type counts of a batch, as one ``(n, d)`` matrix.
 

@@ -181,7 +181,8 @@ class SelectiveTraceRecorder:
         self._total_bytes = 0
         self._recorded_events = 0
         self._recorded_bytes = 0
-        self._write_buffer: list[str] = []
+        # Holds encoded bytes blocks for the binary format, str for jsonl.
+        self._write_buffer: list[bytes] | list[str] = []
         self._buffered_chars = 0
         self._n_io_writes = 0
         self._closed = False
@@ -353,11 +354,19 @@ class SelectiveTraceRecorder:
         )
 
     def close(self) -> None:
-        """Flush and close the output file (idempotent)."""
-        if self._handle is not None:
-            self.flush()
-            self._handle.close()
-            self._handle = None
+        """Flush and close the output file (idempotent, exception-safe).
+
+        The OS handle is released and the recorder marked closed even when
+        the final flush fails mid-write; the flush error still propagates.
+        """
+        handle = self._handle
+        if handle is not None:
+            try:
+                self.flush()
+            finally:
+                self._handle = None
+                self._closed = True
+                handle.close()
         self._closed = True
 
     def __enter__(self) -> "SelectiveTraceRecorder":

@@ -36,7 +36,6 @@ from pathlib import Path
 import numpy as np
 
 from ..analysis.fleet import ShardedTraceMonitor
-from ..analysis.labeling import GroundTruth
 from ..analysis.model import ReferenceModel
 from ..analysis.monitor import TraceMonitor
 from ..config import DetectorConfig, EnduranceConfig, MonitorConfig

@@ -1,0 +1,41 @@
+"""Repo-native static analysis for the ``repro`` codebase.
+
+The runtime grew concurrency-heavy (fork/spawn worker pools, feeder
+threads, bounded hand-off queues, fork-inherited module globals) and its
+headline guarantee — bit-identical decisions, reports and recorded bytes
+across every execution mode — was until now enforced only dynamically, by
+the tier-1 suite.  This package proves the underlying invariants
+*statically*: each rule encodes one repo-specific hazard (a thread started
+before a fork-context pool submission, an unseeded random source in a
+scoring path, a layering violation, an unvalidated config knob reaching the
+CLI) and fires on every diff, the way a type checker fires on a type error.
+
+Everything here is stdlib-only (:mod:`ast`, :mod:`tokenize`, :mod:`json`)
+so the checkers run in any environment the library itself runs in — no new
+runtime dependencies.
+
+Usage::
+
+    python -m repro.devtools.check src/repro            # text report
+    python -m repro.devtools.check --json src/repro     # machine-readable
+    python -m repro.devtools.check --list-rules         # rule catalogue
+
+Suppressions:
+
+* ``# repro: ignore[RULE1,RULE2]`` on the offending line silences those
+  rules for that line; bare ``# repro: ignore`` silences every rule.
+* ``# repro: ignore-file[RULE]`` in the first 25 lines of a module
+  silences a rule for the whole file.
+* ``# repro: fork-shared`` on a module-level mutable global declares it as
+  an intentional fork-inheritance staging area (rule FS102).
+
+A committed baseline (:mod:`repro.devtools.baseline`) grandfathers
+pre-existing findings: the driver exits nonzero only on findings that are
+*not* in the baseline, so the gate can be adopted without a flag day.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, Severity
+
+__all__ = ["Finding", "Severity"]

@@ -1,0 +1,112 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the gate be adopted (and new rules be added) without a
+flag day: pre-existing findings are recorded once, and from then on the
+driver fails only on findings *not* in the baseline.  Entries are keyed by
+:meth:`~repro.devtools.findings.Finding.fingerprint` — rule + path +
+offending line *content* — with multiplicity, so they tolerate the line
+moving but not the violation being duplicated.
+
+The file format is deliberately reviewable JSON: sorted entries carrying
+the rule, path, and line text next to each fingerprint, so a baseline diff
+in review shows exactly which violations were grandfathered or retired.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE = Path("src/repro/devtools/baseline.json")
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: fingerprint -> reviewable context (rule, path, line text).
+    context: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            baseline.counts[fingerprint] += 1
+            baseline.context.setdefault(
+                fingerprint,
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "source_line": finding.source_line,
+                },
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        baseline = cls()
+        for entry in data.get("findings", []):
+            fingerprint = entry["fingerprint"]
+            baseline.counts[fingerprint] += int(entry.get("count", 1))
+            baseline.context.setdefault(
+                fingerprint,
+                {
+                    "rule": entry.get("rule", ""),
+                    "path": entry.get("path", ""),
+                    "source_line": entry.get("source_line", ""),
+                },
+            )
+        return baseline
+
+    def save(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        entries = []
+        for fingerprint in sorted(self.counts):
+            info = self.context.get(fingerprint, {})
+            entries.append(
+                {
+                    "fingerprint": fingerprint,
+                    "count": self.counts[fingerprint],
+                    "rule": info.get("rule", ""),
+                    "path": info.get("path", ""),
+                    "source_line": info.get("source_line", ""),
+                }
+            )
+        entries.sort(key=lambda entry: (entry["rule"], entry["path"], entry["fingerprint"]))
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into (new, baselined), consuming multiplicity.
+
+        Findings are matched in report order; if the baseline holds N
+        copies of a fingerprint, the first N occurrences are grandfathered
+        and any further ones are new.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

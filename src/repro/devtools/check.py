@@ -1,0 +1,225 @@
+"""Static-analysis driver: ``python -m repro.devtools.check [paths...]``.
+
+Runs every registered checker over the given paths (default:
+``src/repro``), applies suppressions and the committed baseline, and
+reports the remaining findings.
+
+Exit status:
+
+* ``0`` — no new findings (baselined findings may exist; listed with
+  ``--show-baselined``).
+* ``1`` — new findings (or parse errors in checked files).
+* ``2`` — bad invocation.
+
+Modes:
+
+* default — human-readable text report.
+* ``--format json`` — machine-readable: ``{"findings": [...],
+  "baselined": N, "parse_errors": [...], "exit_code": N}``.
+* ``--write-baseline`` — record the current findings as the new baseline
+  (exit 0); the diff of ``baseline.json`` is then reviewed like code.
+* ``--select RULES`` / ``--ignore RULES`` — comma-separated rule-id
+  filters applied before baselining.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .checkers import ALL_CHECKERS, rule_catalogue
+from .findings import Finding
+from .source import Project
+
+#: Trees parsed for symbol references (dead code) but never checked.
+DEFAULT_USAGE_ROOTS = ("tests", "benchmarks", "examples", "scripts")
+
+
+def collect_findings(project: Project) -> list[Finding]:
+    """Run every checker; filter suppressed findings; stable-sort."""
+    checked_paths = {source.display_path for source in project.checked_modules()}
+    suppressions = {
+        source.display_path: source.suppressions for source in project
+    }
+    raw: list[Finding] = []
+    for checker in ALL_CHECKERS:
+        for source in project.checked_modules():
+            raw.extend(checker.check_module(source))
+        raw.extend(checker.check_project(project))
+    kept: list[Finding] = []
+    for finding in raw:
+        if finding.path not in checked_paths:
+            continue
+        suppression = suppressions.get(finding.path)
+        if suppression is not None and suppression.is_suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.column, f.rule, f.message))
+    return kept
+
+
+def _filter_rules(
+    findings: Iterable[Finding],
+    select: frozenset[str] | None,
+    ignore: frozenset[str],
+) -> list[Finding]:
+    result = []
+    for finding in findings:
+        if select is not None and finding.rule not in select:
+            continue
+        if finding.rule in ignore:
+            continue
+        result.append(finding)
+    return result
+
+
+def _parse_rule_set(text: str | None) -> frozenset[str]:
+    if not text:
+        return frozenset()
+    return frozenset(part.strip() for part in text.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.check",
+        description="Run the repo's static-analysis suite.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory display paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument("--select", help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list findings covered by the baseline",
+    )
+    parser.add_argument(
+        "--no-usage-roots",
+        action="store_true",
+        help="do not scan tests/benchmarks/examples for symbol usage",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule_id, rule in sorted(rule_catalogue().items()):
+        print(f"{rule_id}  {rule.severity.value:<7}  {rule.summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    known_rules = set(rule_catalogue())
+    select = _parse_rule_set(args.select) or None
+    ignore = _parse_rule_set(args.ignore)
+    for rule_id in (select or frozenset()) | ignore:
+        if rule_id not in known_rules:
+            print(f"error: unknown rule id {rule_id!r}", file=sys.stderr)
+            return 2
+
+    root = Path(args.root)
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    usage_roots = (
+        []
+        if args.no_usage_roots
+        else [root / name for name in DEFAULT_USAGE_ROOTS if (root / name).is_dir()]
+    )
+    project = Project.load(paths, root=root, usage_roots=usage_roots)
+
+    findings = _filter_rules(collect_findings(project), select, ignore)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"baseline written: {len(findings)} finding(s) -> {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    new, baselined = baseline.partition(findings)
+
+    exit_code = 1 if (new or project.parse_errors) else 0
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in new],
+            "baselined": len(baselined),
+            "parse_errors": [
+                {"path": path, "message": message}
+                for path, message in project.parse_errors
+            ],
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code
+
+    for path, message in project.parse_errors:
+        print(f"{path}: error PARSE: {message}")
+    for finding in new:
+        print(finding.render())
+    if args.show_baselined:
+        for finding in baselined:
+            print(f"[baselined] {finding.render()}")
+    checked = sum(1 for _ in project.checked_modules())
+    summary = (
+        f"checked {checked} file(s): {len(new)} new finding(s), "
+        f"{len(baselined)} baselined"
+    )
+    if project.parse_errors:
+        summary += f", {len(project.parse_errors)} parse error(s)"
+    print(summary, file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Checker registry: every rule family the driver runs."""
+
+from __future__ import annotations
+
+from .base import Checker, Rule
+from .config_knobs import ConfigKnobChecker
+from .dead_code import DeadCodeChecker
+from .determinism import DeterminismChecker
+from .fork_safety import ForkSafetyChecker
+from .layering import LayeringChecker
+from .thread_discipline import ThreadDisciplineChecker
+from .typing_gate import TypingGateChecker
+
+#: Instantiated checkers, in reporting order.
+ALL_CHECKERS: tuple[Checker, ...] = (
+    ForkSafetyChecker(),
+    ThreadDisciplineChecker(),
+    DeterminismChecker(),
+    LayeringChecker(),
+    ConfigKnobChecker(),
+    DeadCodeChecker(),
+    TypingGateChecker(),
+)
+
+
+def rule_catalogue() -> dict[str, Rule]:
+    """rule id -> Rule, across every registered checker."""
+    catalogue: dict[str, Rule] = {}
+    for checker in ALL_CHECKERS:
+        for rule in checker.rules:
+            if rule.rule_id in catalogue:
+                raise ValueError(f"duplicate rule id {rule.rule_id}")
+            catalogue[rule.rule_id] = rule
+    return catalogue
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Rule",
+    "rule_catalogue",
+    "ConfigKnobChecker",
+    "DeadCodeChecker",
+    "DeterminismChecker",
+    "ForkSafetyChecker",
+    "LayeringChecker",
+    "ThreadDisciplineChecker",
+    "TypingGateChecker",
+]

@@ -1,0 +1,142 @@
+"""Checker base class, rule metadata, and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource, Project
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule's catalogue entry (id, severity, summary)."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+
+
+class Checker:
+    """Base class of every checker.
+
+    Subclasses declare their :data:`rules` and implement
+    :meth:`check_module` (per-file rules) and/or :meth:`check_project`
+    (cross-file rules).  Both yield raw findings; the driver applies
+    suppressions and the baseline afterwards.
+    """
+
+    name: str = "checker"
+    rules: tuple[Rule, ...] = ()
+
+    def check_module(self, source: ModuleSource) -> Iterator[Finding]:
+        """Yield findings for one module (default: none)."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield cross-file findings (default: none)."""
+        return iter(())
+
+    # ------------------------------------------------------------------ #
+    # Finding construction
+    # ------------------------------------------------------------------ #
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        raise KeyError(f"{self.name} does not declare rule {rule_id}")
+
+    def finding(
+        self,
+        rule_id: str,
+        source: ModuleSource,
+        node: ast.AST | int,
+        message: str,
+    ) -> Finding:
+        """Build a finding at ``node`` (an AST node or a 1-based line)."""
+        rule = self.rule(rule_id)
+        if isinstance(node, int):
+            line, column = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule_id,
+            path=source.display_path,
+            line=line,
+            column=column,
+            message=message,
+            severity=rule.severity,
+            source_line=source.line_text(line),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Shared AST helpers
+# ---------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else None."""
+    return dotted_name(node.func)
+
+
+def receiver_name(node: ast.Attribute) -> str | None:
+    """Identifier the attribute hangs off: ``x`` in ``x.get`` or
+    ``queue`` in ``self.queue.get`` (the innermost non-self name)."""
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def has_keyword(call: ast.Call, *names: str) -> bool:
+    return any(kw.arg in names for kw in call.keywords)
+
+
+def module_top_level_statements(tree: ast.Module) -> Iterable[ast.stmt]:
+    """Statements executed at import time: the module body plus nested
+    try/if/with/class bodies — everything except function bodies."""
+    pending = list(tree.body)
+    while pending:
+        stmt = pending.pop(0)
+        yield stmt
+        if isinstance(stmt, ast.Try):
+            pending.extend(stmt.body)
+            for handler in stmt.handlers:
+                pending.extend(handler.body)
+            pending.extend(stmt.orelse)
+            pending.extend(stmt.finalbody)
+        elif isinstance(stmt, (ast.If, ast.With, ast.ClassDef)):
+            pending.extend(stmt.body)
+            if isinstance(stmt, ast.If):
+                pending.extend(stmt.orelse)

@@ -1,0 +1,107 @@
+"""Config-knob validation parity (CK501).
+
+Every configuration field the CLI actually wires up
+(``SomeConfig(field=args.field, ...)`` in ``repro/cli/main.py``) must be
+validated in that config class's ``__post_init__`` — i.e. ``self.field``
+must be referenced there.  This keeps "CLI flag exists but garbage values
+sail through to a crash three layers down" from reappearing every time a
+knob is added: the parity is structural, so the checker fails the build
+the moment a constructor kwarg has no validation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource, Project
+from .base import Checker, Rule, call_name, calls_in
+
+_CLI_MODULE = "repro.cli.main"
+_CONFIG_MODULE = "repro.config"
+
+
+def _config_classes(source: ModuleSource) -> dict[str, ast.ClassDef]:
+    classes: dict[str, ast.ClassDef] = {}
+    for stmt in source.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name.endswith("Config"):
+            classes[stmt.name] = stmt
+    return classes
+
+
+def _post_init_self_fields(klass: ast.ClassDef) -> set[str] | None:
+    """Fields referenced as ``self.<field>`` in ``__post_init__``.
+
+    Returns None when the class has no ``__post_init__`` at all.
+    """
+    for stmt in klass.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__":
+            fields: set[str] = set()
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    fields.add(node.attr)
+            return fields
+    return None
+
+
+def _cli_config_kwargs(source: ModuleSource) -> dict[str, list[tuple[str, ast.keyword]]]:
+    """class name -> [(kwarg name, keyword node)] for *Config(...) calls."""
+    usages: dict[str, list[tuple[str, ast.keyword]]] = {}
+    for call in calls_in(source.tree):
+        name = call_name(call)
+        if name is None:
+            continue
+        base = name.split(".")[-1]
+        if not base.endswith("Config"):
+            continue
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            usages.setdefault(base, []).append((keyword.arg, keyword))
+    return usages
+
+
+class ConfigKnobChecker(Checker):
+    name = "config-knobs"
+    rules = (
+        Rule(
+            "CK501",
+            Severity.ERROR,
+            "config field wired in the CLI lacks __post_init__ validation",
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        by_module = project.by_module()
+        cli = by_module.get(_CLI_MODULE)
+        config = by_module.get(_CONFIG_MODULE)
+        if cli is None or config is None:
+            return
+        classes = _config_classes(config)
+        for class_name, kwargs in sorted(_cli_config_kwargs(cli).items()):
+            klass = classes.get(class_name)
+            if klass is None:
+                continue
+            validated = _post_init_self_fields(klass)
+            missing = sorted(
+                {field for field, _ in kwargs}
+                - (validated if validated is not None else set())
+            )
+            for field in missing:
+                if validated is None:
+                    message = (
+                        f"{class_name}.{field} is set from the CLI but "
+                        f"{class_name} has no __post_init__ validation at all"
+                    )
+                else:
+                    message = (
+                        f"{class_name}.{field} is set from the CLI but never "
+                        f"referenced in {class_name}.__post_init__; add a "
+                        "_require(...) check so bad flag values fail fast"
+                    )
+                yield self.finding("CK501", config, klass, message)

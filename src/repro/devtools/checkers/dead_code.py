@@ -1,0 +1,208 @@
+"""Dead-code rules (DC6xx).
+
+* **DC601** — a module-level function, class, or constant that nothing in
+  the project references.  References are counted across *all* loaded
+  trees, including usage-only roots (tests, benchmarks, examples), so a
+  helper consumed only by the tier-1 suite is live.  Matching is by name
+  (``Name`` loads, attribute accesses, ``from x import y``, ``__all__``
+  strings), which over-approximates liveness — anything this rule flags
+  really has no textual consumer anywhere.
+* **DC602** — an import binding never used in its module.  ``__init__.py``
+  re-export hubs, ``__all__`` members and ``from __future__`` imports are
+  exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource, Project
+from .base import Checker, Rule
+
+_DUNDER_EXEMPT = {"main"}
+
+
+def _string_elements(node: ast.AST) -> Iterator[str]:
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                yield element.value
+
+
+def _dunder_all(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                names |= set(_string_elements(stmt.value))
+    return names
+
+
+def _definition_nodes(tree: ast.Module) -> dict[str, ast.stmt]:
+    """name -> defining statement, for top-level defs/classes/constants."""
+    defs: dict[str, ast.stmt] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defs[stmt.name] = stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    defs[target.id] = stmt
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            defs[stmt.target.id] = stmt
+    return defs
+
+
+def _references(tree: ast.Module) -> set[str]:
+    """Every name textually referenced in ``tree``.
+
+    Counts Name loads, attribute accesses, ``from x import y`` names,
+    keyword-argument names, and ``__all__`` strings (re-export by string).
+    """
+    refs: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                refs.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            refs.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                refs.add(alias.name)
+        elif isinstance(node, ast.keyword) and node.arg:
+            refs.add(node.arg)
+    refs |= _dunder_all(tree)
+    return refs
+
+
+def _import_bindings(tree: ast.Module) -> dict[str, tuple[ast.stmt, str]]:
+    """binding name -> (import statement, imported thing's description)."""
+    bindings: dict[str, tuple[ast.stmt, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings[bound] = (node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                bindings[bound] = (node, f"{node.module or '.'}.{alias.name}")
+    return bindings
+
+
+class DeadCodeChecker(Checker):
+    name = "dead-code"
+    rules = (
+        Rule("DC601", Severity.WARNING, "top-level symbol referenced nowhere in the project"),
+        Rule("DC602", Severity.WARNING, "import binding unused in its module"),
+    )
+
+    # ------------------------------------------------------------------ #
+    # DC601 (project-wide)
+    # ------------------------------------------------------------------ #
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        # One pass: references per module, then union-minus-self per module.
+        refs_by_module: dict[str, set[str]] = {}
+        for source in project:
+            refs_by_module[source.display_path] = _references(source.tree)
+        for source in project.checked_modules():
+            if source.path.name == "__init__.py":
+                continue  # __init__ bindings are the package's public API.
+            exported = _dunder_all(source.tree)
+            definitions = _definition_nodes(source.tree)
+            external_refs: set[str] = set()
+            for path, refs in refs_by_module.items():
+                if path != source.display_path:
+                    external_refs |= refs
+            internal_refs = self._internal_uses(source.tree, set(definitions))
+            for name in sorted(definitions):
+                if name.startswith("__") or name in _DUNDER_EXEMPT:
+                    continue
+                if name in exported or name in external_refs or name in internal_refs:
+                    continue
+                stmt = definitions[name]
+                yield self.finding(
+                    "DC601",
+                    source,
+                    stmt,
+                    f"{name!r} is defined here but referenced nowhere in the "
+                    "project (including tests/benchmarks); delete it or "
+                    "export it",
+                )
+
+    @staticmethod
+    def _internal_uses(tree: ast.Module, definitions: set[str]) -> set[str]:
+        """Names among ``definitions`` used inside this module, excluding
+        each definition's own body (so a function used only by itself is
+        still dead)."""
+        defined_stmts: dict[str, ast.stmt] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined_stmts[stmt.name] = stmt
+        uses: set[str] = set()
+        for stmt in tree.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    if node.id in definitions:
+                        owner = defined_stmts.get(node.id)
+                        if owner is stmt:
+                            continue  # self-reference (recursion/decorator arg)
+                        uses.add(node.id)
+                elif isinstance(node, ast.Attribute) and node.attr in definitions:
+                    uses.add(node.attr)
+        uses |= _dunder_all(tree)
+        return uses
+
+    # ------------------------------------------------------------------ #
+    # DC602 (per-module)
+    # ------------------------------------------------------------------ #
+    def check_module(self, source: ModuleSource) -> Iterator[Finding]:
+        if source.path.name == "__init__.py":
+            return  # re-export hub by design
+        exported = _dunder_all(source.tree)
+        bindings = _import_bindings(source.tree)
+        if not bindings:
+            return
+        used: set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # String annotations ("TraceWindow") under
+                # `from __future__ import annotations`, and docstrings —
+                # over-approximate rather than flag a live typing import.
+                used |= {part for part in _split_words(node.value) if part in bindings}
+        for name in sorted(bindings):
+            if name in used or name in exported or name.startswith("_"):
+                continue
+            stmt, description = bindings[name]
+            yield self.finding(
+                "DC602",
+                source,
+                stmt,
+                f"import {description!s} is bound as {name!r} but never used "
+                "in this module",
+            )
+
+
+def _split_words(text: str) -> Iterator[str]:
+    word: list[str] = []
+    for char in text:
+        if char.isalnum() or char == "_":
+            word.append(char)
+        elif word:
+            yield "".join(word)
+            word = []
+    if word:
+        yield "".join(word)

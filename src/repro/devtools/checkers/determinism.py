@@ -1,0 +1,147 @@
+"""Determinism rules (DT3xx).
+
+The repo's headline invariant is bit-identical output across execution
+modes (serial vs. forked fleet vs. streaming).  Three statically
+checkable ways to break it:
+
+* **DT301** — drawing from the *unseeded* global RNG (``random.random()``,
+  ``np.random.rand()``).  Seeded generator objects
+  (``random.Random(seed)``, ``np.random.default_rng(seed)``) are fine;
+  ``repro/trace/generator.py`` owns the repo's seeded RNG plumbing and is
+  exempt.
+* **DT302** — iterating a set into ordered output (``for x in {...}``,
+  ``list(set(...))``, ``",".join(a_set)``): set order varies with hash
+  seeding.  ``sorted(...)`` over a set is the sanctioned spelling.
+* **DT303** — wall-clock reads inside ``repro/analysis/`` (the scoring
+  path): decisions keyed to ``time.time()`` differ between runs.
+  Monotonic/perf counters for *metrics* are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource
+from .base import Checker, Rule, call_name, calls_in
+
+#: Functions on the global ``random`` module that draw from shared state.
+_GLOBAL_RANDOM_ALLOWED = {"Random", "SystemRandom", "seed", "getstate", "setstate"}
+_NP_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "RandomState", "seed"}
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+_GENERATOR_EXEMPT_SUFFIX = ("trace/generator.py",)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in {"set", "frozenset"}:
+        return True
+    # Binary set algebra over set literals/calls, e.g. set(a) - set(b).
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = (
+        Rule("DT301", Severity.ERROR, "unseeded global RNG outside trace/generator.py"),
+        Rule("DT302", Severity.ERROR, "set iteration feeding ordered output"),
+        Rule("DT303", Severity.ERROR, "wall-clock read in the scoring path (repro/analysis/)"),
+    )
+
+    def check_module(self, source: ModuleSource) -> Iterator[Finding]:
+        exempt_rng = source.display_path.endswith(_GENERATOR_EXEMPT_SUFFIX)
+        in_analysis = "analysis" in source.display_path.replace("\\", "/").split("/")[:-1]
+        for call in calls_in(source.tree):
+            name = call_name(call)
+            if name is None:
+                continue
+            if not exempt_rng:
+                yield from self._check_global_rng(source, call, name)
+            if in_analysis and name in _WALL_CLOCK:
+                yield self.finding(
+                    "DT303",
+                    source,
+                    call,
+                    f"{name}() in the scoring path; wall-clock values differ "
+                    "between runs and break bit-identical replay (use "
+                    "time.monotonic/perf_counter for metrics)",
+                )
+        yield from self._check_set_ordering(source)
+
+    # ------------------------------------------------------------------ #
+    # DT301
+    # ------------------------------------------------------------------ #
+    def _check_global_rng(
+        self, source: ModuleSource, call: ast.Call, name: str
+    ) -> Iterator[Finding]:
+        if name.startswith("random."):
+            member = name.split(".", 1)[1]
+            if "." not in member and member not in _GLOBAL_RANDOM_ALLOWED:
+                yield self.finding(
+                    "DT301",
+                    source,
+                    call,
+                    f"{name}() draws from the unseeded global RNG; construct "
+                    "a seeded random.Random(seed) instead",
+                )
+        elif name.startswith(("np.random.", "numpy.random.")):
+            member = name.rsplit(".", 1)[1]
+            if member not in _NP_RANDOM_ALLOWED:
+                yield self.finding(
+                    "DT301",
+                    source,
+                    call,
+                    f"{name}() draws from numpy's unseeded global RNG; use "
+                    "np.random.default_rng(seed)",
+                )
+
+    # ------------------------------------------------------------------ #
+    # DT302
+    # ------------------------------------------------------------------ #
+    def _check_set_ordering(self, source: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                yield self.finding(
+                    "DT302",
+                    source,
+                    node.iter,
+                    "iterating a set directly; order varies with hash "
+                    "seeding — iterate sorted(...) instead",
+                )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in {"list", "tuple", "enumerate", "iter"} and node.args:
+                    if _is_set_expr(node.args[0]):
+                        yield self.finding(
+                            "DT302",
+                            source,
+                            node,
+                            f"{name}() over a set captures hash-seed order; "
+                            "wrap the set in sorted(...)",
+                        )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        "DT302",
+                        source,
+                        node,
+                        "str.join over a set produces hash-seed-dependent "
+                        "output; join sorted(...) instead",
+                    )

@@ -1,0 +1,399 @@
+"""Thread and resource discipline rules (TD2xx).
+
+The streaming/fleet planes lean on a small set of concurrency idioms —
+``with lock:``, :class:`~repro.trace.pipeline.BoundedHandoff` for polling
+queue traffic, threads joined in ``finally``, executors as context
+managers — because a single leaked handle or blocked ``Queue.get`` stalls
+an endurance run that is supposed to survive for days.  These rules keep
+code on those idioms:
+
+* **TD201** — ``lock.acquire()`` outside ``with`` and without a matching
+  ``release()`` in a ``finally`` of the same function.
+* **TD202** — blocking ``.get()``/``.put()`` on a queue-like receiver
+  without a ``timeout``/``block=False`` escape hatch (uninterruptible on
+  shutdown).  Sanctioned wrappers (``*Handoff`` classes) are exempt.
+* **TD203** — a locally constructed thread is ``start()``-ed but never
+  ``join()``-ed from a ``finally`` in the same function.
+* **TD204** — an executor constructed without ``with`` and without a
+  ``shutdown()`` call in the same function.
+* **TD205** — ``open()`` outside ``with`` whose handle is not closed in a
+  ``finally`` (handles stored on ``self`` of a class that defines
+  ``close``/``__exit__`` are the object's lifecycle and exempt).
+* **TD206** — in teardown methods (``close``/``shutdown``/``stop``/
+  ``__exit__``), a flush-like call sequenced before a close-like call
+  with no ``try``/``finally``: if the flush raises, the handle leaks and
+  the object stays half-open.
+* **TD207** — a cleanup loop in a ``finally`` whose per-item
+  ``close``/``shutdown`` is unguarded: the first failing item leaks every
+  item after it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource, enclosing_function, parent_of
+from .base import (
+    Checker,
+    Rule,
+    call_name,
+    calls_in,
+    has_keyword,
+    receiver_name,
+    walk_functions,
+)
+
+_EXECUTOR_NAMES = {"ProcessPoolExecutor", "ThreadPoolExecutor"}
+_THREAD_NAMES = {"Thread", "Timer"}
+_QUEUE_RECEIVER_HINTS = ("queue", "channel", "chan")
+_SANCTIONED_CLASS_HINTS = ("handoff",)
+_TEARDOWN_METHOD_NAMES = {"close", "shutdown", "stop", "__exit__", "__del__"}
+_CLEANUP_CALL_SUFFIXES = (".close", ".shutdown", ".terminate", ".cancel_join_thread", ".kill")
+
+
+def _base(name: str | None) -> str | None:
+    return name.split(".")[-1] if name else None
+
+
+def _enclosing_class(node: ast.AST) -> ast.ClassDef | None:
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A class defined inside a function still counts; keep climbing
+            # only through functions that are not themselves class bodies.
+            current = parent_of(current)
+            continue
+        current = parent_of(current)
+    return None
+
+
+def _in_with_context(call: ast.Call) -> bool:
+    """Whether ``call`` is a ``with`` statement's context expression."""
+    parent = parent_of(call)
+    if isinstance(parent, ast.withitem):
+        return True
+    return False
+
+
+def _finally_bodies(function: ast.AST) -> Iterator[ast.stmt]:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Try):
+            yield from node.finalbody
+
+
+def _calls_in_finallies(function: ast.AST) -> Iterator[ast.Call]:
+    for stmt in _finally_bodies(function):
+        yield from calls_in(stmt)
+
+
+def _guarded_by_try(node: ast.AST, stop: ast.AST) -> bool:
+    """Whether ``node`` sits inside a Try (with handlers or finally)
+    somewhere below ``stop`` in the tree."""
+    current = parent_of(node)
+    while current is not None and current is not stop:
+        if isinstance(current, ast.Try) and (current.handlers or current.finalbody):
+            return True
+        current = parent_of(current)
+    return False
+
+
+class ThreadDisciplineChecker(Checker):
+    name = "thread-discipline"
+    rules = (
+        Rule("TD201", Severity.ERROR, "lock.acquire() outside 'with' and without release in finally"),
+        Rule("TD202", Severity.ERROR, "blocking queue get/put without timeout escape hatch"),
+        Rule("TD203", Severity.ERROR, "thread started but not joined from a finally"),
+        Rule("TD204", Severity.ERROR, "executor without 'with' or shutdown()"),
+        Rule("TD205", Severity.ERROR, "open() outside 'with' without close in finally"),
+        Rule("TD206", Severity.ERROR, "teardown method not exception-safe (flush before close without try/finally)"),
+        Rule("TD207", Severity.ERROR, "cleanup loop where one failing item leaks the rest"),
+    )
+
+    def check_module(self, source: ModuleSource) -> Iterator[Finding]:
+        yield from self._check_bare_acquire(source)
+        yield from self._check_blocking_queue_ops(source)
+        for function in walk_functions(source.tree):
+            yield from self._check_threads_joined(source, function)
+            yield from self._check_executor_lifecycle(source, function)
+            yield from self._check_open_lifecycle(source, function)
+            yield from self._check_cleanup_loops(source, function)
+        yield from self._check_teardown_safety(source)
+
+    # ------------------------------------------------------------------ #
+    # TD201
+    # ------------------------------------------------------------------ #
+    def _check_bare_acquire(self, source: ModuleSource) -> Iterator[Finding]:
+        for call in calls_in(source.tree):
+            name = call_name(call)
+            if name is None or not name.endswith(".acquire"):
+                continue
+            if _in_with_context(call):
+                continue
+            receiver = (
+                receiver_name(call.func) if isinstance(call.func, ast.Attribute) else None
+            )
+            function = enclosing_function(call)
+            released = False
+            if function is not None and receiver is not None:
+                for fin_call in _calls_in_finallies(function):
+                    fin_name = call_name(fin_call)
+                    if fin_name is None or not fin_name.endswith(".release"):
+                        continue
+                    fin_receiver = (
+                        receiver_name(fin_call.func)
+                        if isinstance(fin_call.func, ast.Attribute)
+                        else None
+                    )
+                    if fin_receiver == receiver:
+                        released = True
+                        break
+            if not released:
+                yield self.finding(
+                    "TD201",
+                    source,
+                    call,
+                    f"{name}() without 'with' or a matching release() in a "
+                    "finally; an exception here leaves the lock held",
+                )
+
+    # ------------------------------------------------------------------ #
+    # TD202
+    # ------------------------------------------------------------------ #
+    def _check_blocking_queue_ops(self, source: ModuleSource) -> Iterator[Finding]:
+        for call in calls_in(source.tree):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            if call.func.attr not in {"get", "put"}:
+                continue
+            receiver = receiver_name(call.func)
+            if receiver is None:
+                continue
+            lowered = receiver.lower()
+            if not any(hint in lowered for hint in _QUEUE_RECEIVER_HINTS):
+                continue
+            if has_keyword(call, "timeout"):
+                continue
+            if call.args:
+                # get(False) / put(item, False) style positional block flag,
+                # or put(item) — only a bare zero-arg get() / one-arg put()
+                # is unambiguously the blocking form for .put.
+                if call.func.attr == "get":
+                    continue
+                if len(call.args) > 1:
+                    continue
+            if has_keyword(call, "block"):
+                continue
+            klass = _enclosing_class(call)
+            if klass is not None and any(
+                hint in klass.name.lower() for hint in _SANCTIONED_CLASS_HINTS
+            ):
+                continue
+            yield self.finding(
+                "TD202",
+                source,
+                call,
+                f"blocking {receiver}.{call.func.attr}() without a timeout; "
+                "use BoundedHandoff (or pass timeout=) so shutdown can "
+                "interrupt the wait",
+            )
+
+    # ------------------------------------------------------------------ #
+    # TD203
+    # ------------------------------------------------------------------ #
+    def _check_threads_joined(
+        self, source: ModuleSource, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        thread_vars: dict[str, ast.Call] = {}
+        for stmt in ast.walk(function):
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            name = call_name(stmt.value)
+            if _base(name) not in _THREAD_NAMES:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    thread_vars[target.id] = stmt.value
+        if not thread_vars:
+            return
+        started: set[str] = set()
+        for call in calls_in(function):
+            if isinstance(call.func, ast.Attribute) and call.func.attr == "start":
+                if isinstance(call.func.value, ast.Name) and call.func.value.id in thread_vars:
+                    started.add(call.func.value.id)
+        if not started:
+            return
+        joined: set[str] = set()
+        for fin_call in _calls_in_finallies(function):
+            if isinstance(fin_call.func, ast.Attribute) and fin_call.func.attr == "join":
+                value = fin_call.func.value
+                if isinstance(value, ast.Name):
+                    joined.add(value.id)
+                elif isinstance(value, ast.Attribute):
+                    # e.g. handle.thread.join() — credit the handle name.
+                    root = receiver_name(fin_call.func)
+                    if root is not None:
+                        joined.add(root)
+        for var in sorted(started - joined):
+            yield self.finding(
+                "TD203",
+                source,
+                thread_vars[var],
+                f"thread {var!r} is started but never joined from a finally "
+                "in this function; an exception leaves it running",
+            )
+
+    # ------------------------------------------------------------------ #
+    # TD204
+    # ------------------------------------------------------------------ #
+    def _check_executor_lifecycle(
+        self, source: ModuleSource, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for call in calls_in(function):
+            if _base(call_name(call)) not in _EXECUTOR_NAMES:
+                continue
+            if _in_with_context(call):
+                continue
+            parent = parent_of(call)
+            bound: str | None = None
+            if isinstance(parent, ast.Assign):
+                for target in parent.targets:
+                    if isinstance(target, ast.Name):
+                        bound = target.id
+            has_shutdown = False
+            if bound is not None:
+                for other in calls_in(function):
+                    name = call_name(other)
+                    if name == f"{bound}.shutdown":
+                        has_shutdown = True
+                        break
+            if not has_shutdown:
+                yield self.finding(
+                    "TD204",
+                    source,
+                    call,
+                    "executor created without 'with' and never shut down in "
+                    "this function; worker processes/threads can outlive the "
+                    "caller",
+                )
+
+    # ------------------------------------------------------------------ #
+    # TD205
+    # ------------------------------------------------------------------ #
+    def _check_open_lifecycle(
+        self, source: ModuleSource, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for call in calls_in(function):
+            name = call_name(call)
+            if name is None:
+                continue
+            if name != "open" and not name.endswith(".open"):
+                continue
+            if _in_with_context(call):
+                continue
+            parent = parent_of(call)
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = parent.targets[0]
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    if target.value.id in {"self", "cls"}:
+                        klass = _enclosing_class(call)
+                        if klass is not None and self._class_has_teardown(klass):
+                            continue
+                if isinstance(target, ast.Name):
+                    if self._closed_in_finally(function, target.id):
+                        continue
+            elif isinstance(parent, ast.withitem):
+                continue
+            elif isinstance(parent, ast.Return):
+                # Factory functions hand the handle to the caller.
+                continue
+            yield self.finding(
+                "TD205",
+                source,
+                call,
+                "file handle opened without 'with' and not closed in a "
+                "finally; an exception leaks the descriptor",
+            )
+
+    @staticmethod
+    def _class_has_teardown(klass: ast.ClassDef) -> bool:
+        for stmt in klass.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in {"close", "__exit__", "__del__", "shutdown", "stop"}:
+                    return True
+        return False
+
+    @staticmethod
+    def _closed_in_finally(function: ast.AST, var: str) -> bool:
+        for fin_call in _calls_in_finallies(function):
+            name = call_name(fin_call)
+            if name == f"{var}.close":
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # TD206
+    # ------------------------------------------------------------------ #
+    def _check_teardown_safety(self, source: ModuleSource) -> Iterator[Finding]:
+        for function in walk_functions(source.tree):
+            if function.name not in _TEARDOWN_METHOD_NAMES:
+                continue
+            flushes: list[ast.Call] = []
+            closes: list[ast.Call] = []
+            for call in calls_in(function):
+                name = call_name(call)
+                if name is None:
+                    continue
+                base = _base(name) or ""
+                if "flush" in base:
+                    flushes.append(call)
+                elif base in {"close", "shutdown", "terminate", "join"} and "." in name:
+                    closes.append(call)
+            for flush in flushes:
+                later_closes = [c for c in closes if c.lineno > flush.lineno]
+                if not later_closes:
+                    continue
+                if _guarded_by_try(flush, function):
+                    continue
+                yield self.finding(
+                    "TD206",
+                    source,
+                    flush,
+                    f"{function.name}() calls {call_name(flush)}() before "
+                    f"{call_name(later_closes[0])}() with no try/finally; a "
+                    "flush failure skips the close and leaks the handle",
+                )
+
+    # ------------------------------------------------------------------ #
+    # TD207
+    # ------------------------------------------------------------------ #
+    def _check_cleanup_loops(
+        self, source: ModuleSource, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for try_node in ast.walk(function):
+            if not isinstance(try_node, ast.Try):
+                continue
+            for stmt in try_node.finalbody:
+                for loop in ast.walk(stmt):
+                    if not isinstance(loop, (ast.For, ast.While)):
+                        continue
+                    reported = False
+                    for call in calls_in(loop):
+                        name = call_name(call)
+                        if name is None or not name.endswith(_CLEANUP_CALL_SUFFIXES):
+                            continue
+                        if _guarded_by_try(call, loop):
+                            continue
+                        if not reported:
+                            reported = True
+                            yield self.finding(
+                                "TD207",
+                                source,
+                                call,
+                                f"unguarded {name}() inside a cleanup loop in "
+                                "a finally; the first failing item leaks "
+                                "every item after it",
+                            )

@@ -1,0 +1,71 @@
+"""Annotation-coverage gate (TY701) over the strict layers.
+
+CI runs real ``mypy`` (see pyproject ``[tool.mypy]``) over
+``repro.trace``, ``repro.analysis``, ``repro.errors`` and
+``repro.config``; this rule is the locally runnable proxy for its
+``disallow_untyped_defs``/``disallow_incomplete_defs`` core, so the
+container (which has no mypy) still enforces the same floor: every
+function in a strict layer annotates its return type and every parameter
+except ``self``/``cls``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..source import ModuleSource
+from .base import Checker, Rule, walk_functions
+
+#: Layers under the strict-typing gate (mirrors [tool.mypy] in pyproject).
+STRICT_LAYERS = ("repro.trace", "repro.analysis", "repro.errors", "repro.config")
+
+
+def _in_strict_layer(module: str) -> bool:
+    return any(
+        module == layer or module.startswith(layer + ".") for layer in STRICT_LAYERS
+    )
+
+
+class TypingGateChecker(Checker):
+    name = "typing-gate"
+    rules = (
+        Rule(
+            "TY701",
+            Severity.ERROR,
+            "function in a strict layer missing parameter or return annotations",
+        ),
+    )
+
+    def check_module(self, source: ModuleSource) -> Iterator[Finding]:
+        if not _in_strict_layer(source.module):
+            return
+        for function in walk_functions(source.tree):
+            if function.name.startswith("__") and function.name.endswith("__"):
+                if function.name not in {"__init__", "__call__"}:
+                    continue  # dunder protocol signatures are fixed anyway
+            missing: list[str] = []
+            args = function.args
+            positional = args.posonlyargs + args.args
+            for index, arg in enumerate(positional):
+                if index == 0 and arg.arg in {"self", "cls"}:
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            for arg in args.kwonlyargs:
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if function.returns is None and function.name != "__init__":
+                missing.append("return")
+            if missing:
+                yield self.finding(
+                    "TY701",
+                    source,
+                    function,
+                    f"{function.name}() in strict layer {source.module} is "
+                    f"missing annotations for: {', '.join(missing)}",
+                )

@@ -1,0 +1,83 @@
+"""Finding model shared by every checker and the driver.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` identifies the finding *content-wise* — rule,
+file and the stripped text of the offending line — rather than by line
+number, so baselined findings survive unrelated edits above them.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  The driver fails on any *new* finding of
+    either severity; the split exists for reporting and triage."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier, e.g. ``"FS102"``.
+    path:
+        Path of the offending file, as given to the driver (kept relative
+        when the driver was handed relative paths, so fingerprints are
+        machine-independent).
+    line / column:
+        1-based line and 0-based column of the violation.
+    message:
+        Human-readable description, specific to the occurrence.
+    severity:
+        :class:`Severity` of the rule.
+    source_line:
+        The stripped text of the offending source line (used for
+        line-move-tolerant baseline fingerprints).
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: Severity = Severity.ERROR
+    source_line: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this finding across line moves."""
+        digest = hashlib.sha256(
+            f"{self.rule}\x1f{self.path}\x1f{self.source_line}".encode("utf-8")
+        )
+        return digest.hexdigest()[:20]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the driver's ``--json`` output schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line text form, editor-clickable (``path:line:col``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.severity.value} {self.rule}: {self.message}"
+        )

@@ -1,0 +1,189 @@
+"""Parsed module sources and the project view the checkers consume.
+
+:class:`ModuleSource` is one parsed file: path, module name, source lines,
+AST (with parent links), and suppression pragmas.  :class:`Project` is the
+set of modules under analysis — cross-file checkers (layering, dead code,
+config-knob parity) work against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .suppress import Suppressions, parse_suppressions
+
+#: Attribute added to every AST node, pointing at its parent node.
+PARENT_ATTR = "_repro_parent"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Give every node a ``_repro_parent`` link (None on the root)."""
+    setattr(tree, PARENT_ATTR, None)
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, PARENT_ATTR, node)
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    """The parent of ``node`` (requires :func:`attach_parents`)."""
+    return getattr(node, PARENT_ATTR, None)
+
+
+def enclosing_function(
+    node: ast.AST,
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The innermost function definition containing ``node``, if any."""
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def module_name_for(path: Path, package_roots: tuple[str, ...] = ("repro",)) -> str:
+    """Dotted module name of ``path``, rooted at the first known package.
+
+    Falls back to the stem when the path does not sit under a known
+    package root (fixture files in tests, scratch files).
+    """
+    parts = list(path.with_suffix("").parts)
+    for root in package_roots:
+        if root in parts:
+            parts = parts[parts.index(root) :]
+            break
+    else:
+        return path.stem
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, ready for checking."""
+
+    path: Path
+    display_path: str
+    module: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str | None = None) -> "ModuleSource":
+        """Read and parse ``path`` (raises ``SyntaxError`` on broken files)."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        attach_parents(tree)
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            module=module_name_for(path),
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+            suppressions=parse_suppressions(text),
+        )
+
+    def line_text(self, line: int) -> str:
+        """Stripped text of 1-based ``line`` ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass
+class Project:
+    """Every module under analysis, plus parse failures.
+
+    Modules whose display path is in :attr:`usage_only` contribute symbol
+    *references* to cross-file checkers (dead code, layering exemptions)
+    but never receive findings themselves — the driver loads the test,
+    benchmark and example trees this way, so a symbol consumed only by the
+    tier-1 suite is not reported as dead.
+    """
+
+    modules: list[ModuleSource] = field(default_factory=list)
+    #: (display_path, message) of files that failed to parse.
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: display paths loaded for reference-tracking only (no findings).
+    usage_only: set[str] = field(default_factory=set)
+
+    def __iter__(self) -> Iterator[ModuleSource]:
+        return iter(self.modules)
+
+    def checked_modules(self) -> Iterator[ModuleSource]:
+        """Modules that receive findings (everything not usage-only)."""
+        for source in self.modules:
+            if source.display_path not in self.usage_only:
+                yield source
+
+    def by_module(self) -> dict[str, ModuleSource]:
+        """Mapping of dotted module name to source."""
+        return {source.module: source for source in self.modules}
+
+    @staticmethod
+    def _expand(paths: list[Path]) -> list[Path]:
+        files: list[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    @classmethod
+    def load(
+        cls,
+        paths: list[Path],
+        root: Path | None = None,
+        usage_roots: list[Path] | None = None,
+    ) -> "Project":
+        """Collect and parse every ``.py`` file under ``paths``.
+
+        ``root`` (default: the current directory) is used to relativise
+        display paths so fingerprints do not embed absolute paths.
+        ``usage_roots`` are loaded as usage-only modules.
+        """
+        base = root if root is not None else Path.cwd()
+        project = cls()
+        seen: set[Path] = set()
+
+        def _add(file_path: Path, usage: bool) -> None:
+            resolved = file_path.resolve()
+            if resolved in seen:
+                return
+            seen.add(resolved)
+            try:
+                display = (
+                    str(file_path.relative_to(base))
+                    if file_path.is_absolute()
+                    else str(file_path)
+                )
+            except ValueError:
+                display = str(file_path)
+            try:
+                project.modules.append(ModuleSource.parse(file_path, display))
+            except SyntaxError as exc:
+                if not usage:
+                    project.parse_errors.append(
+                        (display, f"syntax error: {exc.msg} (line {exc.lineno})")
+                    )
+                return
+            except (OSError, UnicodeDecodeError) as exc:
+                if not usage:
+                    project.parse_errors.append((display, f"unreadable: {exc}"))
+                return
+            if usage:
+                project.usage_only.add(display)
+
+        for file_path in cls._expand(paths):
+            _add(file_path, usage=False)
+        for file_path in cls._expand(usage_roots or []):
+            _add(file_path, usage=True)
+        return project

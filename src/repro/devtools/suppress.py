@@ -1,0 +1,106 @@
+"""Suppression pragmas: per-line, per-file, and marker annotations.
+
+Syntax (all inside comments, so the runtime never sees them)::
+
+    do_risky_thing()            # repro: ignore[TD201]
+    do_risky_thing()            # repro: ignore[TD201,DT302]
+    do_risky_thing()            # repro: ignore          (every rule)
+
+    # repro: ignore-file[DT302]        (first 25 lines of the module)
+
+    _STAGING: dict | None = None      # repro: fork-shared   (rule FS102)
+
+``ignore`` applies to findings reported *on the commented line* (for a
+multi-line statement, any line the statement spans works — checkers report
+at the statement's first line, and the matcher also honours a pragma on
+the statement's last line via the finding's source line).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: How deep into the file ``ignore-file`` pragmas are honoured.
+FILE_PRAGMA_MAX_LINE = 25
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[(?P<rules>[\w\s,.-]*)\])?")
+_IGNORE_FILE_RE = re.compile(r"#\s*repro:\s*ignore-file\[(?P<rules>[\w\s,.-]*)\]")
+_MARKER_RE = re.compile(r"#\s*repro:\s*(?P<marker>[a-z][a-z0-9-]*)\b")
+
+#: Markers that are *annotations* consumed by specific rules, not
+#: suppressions (rule modules look these up via :meth:`Suppressions.markers_on`).
+KNOWN_MARKERS = frozenset({"fork-shared"})
+
+
+def _split_rules(text: str | None) -> frozenset[str]:
+    if text is None:
+        return frozenset()
+    return frozenset(part.strip() for part in text.split(",") if part.strip())
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state of one module."""
+
+    #: line -> rules silenced on that line (empty frozenset = all rules).
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rules silenced for the whole file.
+    file_rules: frozenset[str] = frozenset()
+    #: line -> annotation markers present on that line (e.g. "fork-shared").
+    line_markers: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced at ``line``."""
+        if rule in self.file_rules:
+            return True
+        if line in self.line_rules:
+            rules = self.line_rules[line]
+            return not rules or rule in rules
+        return False
+
+    def markers_on(self, first_line: int, last_line: int | None = None) -> frozenset[str]:
+        """Annotation markers present on any line of ``[first, last]``."""
+        last = last_line if last_line is not None else first_line
+        found: set[str] = set()
+        for line in range(first_line, last + 1):
+            found |= self.line_markers.get(line, frozenset())
+        return frozenset(found)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression pragma and marker from ``source``.
+
+    Uses :mod:`tokenize` so pragmas inside string literals are never
+    misread as suppressions.  A syntactically broken file (tokenize error)
+    yields an empty suppression set — the driver reports the parse error
+    separately.
+    """
+    result = Suppressions()
+    file_rules: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string
+            line = token.start[0]
+            match = _IGNORE_FILE_RE.search(text)
+            if match is not None and line <= FILE_PRAGMA_MAX_LINE:
+                file_rules |= _split_rules(match.group("rules"))
+                continue
+            match = _IGNORE_RE.search(text)
+            if match is not None:
+                result.line_rules[line] = _split_rules(match.group("rules"))
+                continue
+            match = _MARKER_RE.search(text)
+            if match is not None and match.group("marker") in KNOWN_MARKERS:
+                markers = set(result.line_markers.get(line, frozenset()))
+                markers.add(match.group("marker"))
+                result.line_markers[line] = frozenset(markers)
+    except tokenize.TokenError:
+        pass
+    result.file_rules = frozenset(file_rules)
+    return result

@@ -14,7 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..config import DetectorConfig, EnduranceConfig, MonitorConfig
+from ..config import EnduranceConfig
 from ..errors import ExperimentError
 from ..logging_util import get_logger
 from ..media.app import EnduranceRun, EnduranceTrace

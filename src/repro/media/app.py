@@ -11,7 +11,6 @@ evaluation layers need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..config import EnduranceConfig
 from ..errors import SimulationError
@@ -164,7 +163,3 @@ class EnduranceRun:
         )
         return trace
 
-
-def run_endurance_test(config: EnduranceConfig) -> EnduranceTrace:
-    """Convenience wrapper: build an :class:`EnduranceRun` and execute it."""
-    return EnduranceRun(config).run()

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..errors import TraceFormatError, TraceStreamError
 from .codec import encoded_window_sizes
-from .event import EventTypeRegistry
+from .event import EventTypeRegistry, TraceEvent
 from .window import TraceWindow
 
 __all__ = ["WindowBatch", "LazyWindowRef", "batch_windows"]
@@ -327,7 +327,7 @@ class LazyWindowRef:
         return self._batch.window(self.position)
 
     @property
-    def events(self):
+    def events(self) -> "tuple[TraceEvent, ...]":
         """The window's events (materialises the window)."""
         return self.resolve().events
 

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..errors import TraceFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columns import TraceColumns
 from .event import EventTypeRegistry, TraceEvent
 from .window import TraceWindow
 
@@ -237,7 +240,7 @@ class BinaryTraceCodec:
                 events.append(event)
         return events
 
-    def decode_columns(self, data: bytes):
+    def decode_columns(self, data: bytes) -> "TraceColumns":
         """Decode a binary trace straight into flat arrays.
 
         Returns a :class:`~repro.trace.columns.TraceColumns` whose arrays
@@ -297,7 +300,7 @@ class JsonTraceCodec:
             if line:
                 yield self.decode_event(line)
 
-    def decode_columns(self, text: str):
+    def decode_columns(self, text: str) -> "TraceColumns":
         """Decode a JSON-lines trace straight into flat arrays.
 
         Returns a :class:`~repro.trace.columns.TraceColumns` equivalent to

@@ -35,7 +35,9 @@ from __future__ import annotations
 import codecs
 import json
 import struct
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
+
+from numpy.typing import DTypeLike
 
 import numpy as np
 
@@ -300,7 +302,7 @@ def _task_field_size(task: str, cache: dict[str, int]) -> int:
     return size
 
 
-def _payload_field_size(args) -> int:
+def _payload_field_size(args: Mapping[str, Any]) -> int:
     """Encoded size of the payload field, mirroring ``encoded_trace_size``."""
     if not args:
         return 1
@@ -313,7 +315,9 @@ def _payload_field_size(args) -> int:
 # ---------------------------------------------------------------------- #
 # Vectorized decoders
 # ---------------------------------------------------------------------- #
-def _try_decode_varint(data: bytes, offset: int, size: int):
+def _try_decode_varint(
+    data: bytes, offset: int, size: int
+) -> tuple[int, int] | None:
     """Decode a varint at ``offset``; ``None`` when ``data`` ends inside it.
 
     An over-long varint (more than 64 value bits) is corrupt rather than
@@ -335,7 +339,9 @@ def _try_decode_varint(data: bytes, offset: int, size: int):
             raise TraceFormatError("varint too long in binary trace")
 
 
-def _parse_record(data: bytes, offset: int):
+def _parse_record(
+    data: bytes, offset: int
+) -> tuple[int, int, int, int, int] | None:
     """Parse one binary event record starting at ``offset``.
 
     Returns ``(delta, local_code, core, static_size, end_offset)``, or
@@ -453,7 +459,7 @@ def decode_binary_columns(data: bytes) -> TraceColumns:
     )
 
 
-def _concat(parts: Sequence[np.ndarray], dtype) -> np.ndarray:
+def _concat(parts: Sequence[np.ndarray], dtype: DTypeLike) -> np.ndarray:
     if not parts:
         return np.empty(0, dtype=dtype)
     if len(parts) == 1:
@@ -673,7 +679,9 @@ class BinaryColumnsDecoder:
             record_offsets=np.array(records, dtype=np.int64),
         )
 
-    def _try_header(self, data: bytes, pos: int, final: bool):
+    def _try_header(
+        self, data: bytes, pos: int, final: bool
+    ) -> tuple[np.ndarray, int, int] | None:
         """Parse a segment header at ``pos``; ``None`` when incomplete."""
         size = len(data)
         head = data[pos : pos + 4]

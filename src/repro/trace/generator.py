@@ -10,7 +10,6 @@ exactly that, with deterministic seeding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -32,17 +31,6 @@ def _normalise_mix(mix: Mapping[str, float]) -> tuple[tuple[str, ...], np.ndarra
     if total <= 0:
         raise ConfigurationError("event mix weights must not all be zero")
     return names, weights / total
-
-
-@dataclass(frozen=True)
-class _Segment:
-    """A time segment with its own event mix and rate."""
-
-    start_us: int
-    end_us: int
-    names: tuple[str, ...]
-    probabilities: np.ndarray
-    rate_per_s: float
 
 
 class SyntheticTraceGenerator:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from .codec import BinaryTraceCodec
 from .event import TraceEvent
@@ -127,7 +127,7 @@ def summarize(events: Iterable[TraceEvent]) -> TraceStatistics:
 def summarize_windows(windows: Iterable[TraceWindow]) -> TraceStatistics:
     """Compute statistics over the events contained in ``windows``."""
 
-    def _events():
+    def _events() -> Iterator[TraceEvent]:
         for window in windows:
             yield from window.events
 

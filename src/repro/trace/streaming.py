@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import chain as _chain
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Tuple
@@ -273,7 +273,14 @@ class _SpanView:
 
     __slots__ = ("timestamps_us", "type_codes", "cores", "static_sizes", "type_names")
 
-    def __init__(self, timestamps_us, type_codes, cores, static_sizes, type_names):
+    def __init__(
+        self,
+        timestamps_us: np.ndarray,
+        type_codes: np.ndarray,
+        cores: np.ndarray,
+        static_sizes: np.ndarray,
+        type_names: Sequence[str],
+    ) -> None:
         self.timestamps_us = timestamps_us
         self.type_codes = type_codes
         self.cores = cores
@@ -447,7 +454,9 @@ class StreamingWindowSource:
             yield tail
 
     @staticmethod
-    def _make_decoder(head: bytes, fmt: str):
+    def _make_decoder(
+        head: bytes, fmt: str
+    ) -> "BinaryColumnsDecoder | JsonColumnsDecoder":
         if fmt == "auto":
             fmt = "binary" if _MAGIC.startswith(head[:4]) else "jsonl"
         return BinaryColumnsDecoder() if fmt == "binary" else JsonColumnsDecoder()

@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..errors import TraceFormatError
-from .event import TraceEvent
+from .event import EventTypeRegistry, TraceEvent
 
 __all__ = ["TraceWindow"]
 
@@ -129,7 +129,9 @@ class TraceWindow:
         """Set of task names appearing in the window."""
         return frozenset(event.task for event in self.events if event.task)
 
-    def type_codes(self, registry, register_unknown: bool = True):
+    def type_codes(
+        self, registry: "EventTypeRegistry", register_unknown: bool = True
+    ) -> np.ndarray:
         """Integer event-type codes of the events, against ``registry``.
 
         This is the columnar form of the window consumed by the batch

@@ -1,6 +1,3 @@
 """Version information for the :mod:`repro` package."""
 
 __version__ = "1.0.0"
-
-#: Tuple form of the version, convenient for programmatic comparisons.
-VERSION_TUPLE = tuple(int(part) for part in __version__.split("."))

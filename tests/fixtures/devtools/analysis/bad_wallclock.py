@@ -1,0 +1,7 @@
+# Wall-clock read on a scoring path (this file's path contains /analysis/).
+# repro: ignore-file[DC601,DC602,TY701]
+import time
+
+
+def score_with_timestamp(value):
+    return value, time.time()  # expect: DT303

@@ -1,0 +1,28 @@
+# Bad determinism patterns: global RNG draws and set-order leakage.
+# repro: ignore-file[DC601,DC602,TY701]
+import random
+
+import numpy as np
+
+
+def unseeded_stdlib():
+    return random.random()  # expect: DT301
+
+
+def unseeded_numpy():
+    return np.random.rand(4)  # expect: DT301
+
+
+def set_iteration(names):
+    ordered = []
+    for name in set(names):  # expect: DT302
+        ordered.append(name)
+    return ordered
+
+
+def set_listing(names):
+    return list(set(names))  # expect: DT302
+
+
+def set_join(names):
+    return ",".join({name.strip() for name in names})  # expect: DT302

@@ -1,0 +1,26 @@
+# Bad fork-safety patterns.  Never imported; parsed by the checker tests.
+# repro: ignore-file[DC601,DC602,TY701,TD203,TD204]
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_IMPORT_TIME_THREAD = threading.Thread(target=print)  # expect: FS101
+
+_LOCK = threading.Lock()
+_LOCK.acquire()  # expect: FS101, TD201
+
+_POOL = ProcessPoolExecutor(max_workers=2)  # expect: FS101
+
+_STAGING = None  # expect: FS102
+
+
+def _rebind_staging(value):
+    global _STAGING
+    _STAGING = value
+
+
+def _start_feeder_too_early(chunks):
+    feeder = threading.Thread(target=print, args=(chunks,))
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        feeder.start()  # expect: FS103
+        future = pool.submit(len, chunks)
+    return future

@@ -1,0 +1,53 @@
+# Bad thread/resource-discipline patterns, one per TD rule.
+# repro: ignore-file[DC601,DC602,TY701,FS101]
+import threading
+
+
+def bare_acquire(lock):
+    lock.acquire()  # expect: TD201
+    return lock
+
+
+def blocking_get(work_queue):
+    return work_queue.get()  # expect: TD202
+
+
+def blocking_put(result_channel, item):
+    result_channel.put(item)  # expect: TD202
+
+
+def unjoined_thread():
+    worker = threading.Thread(target=print)  # expect: TD203
+    worker.start()
+
+
+def leaked_executor(items):
+    from concurrent.futures import ThreadPoolExecutor
+
+    pool = ThreadPoolExecutor(max_workers=2)  # expect: TD204
+    return [pool.submit(len, item) for item in items]
+
+
+def leaked_handle(path):
+    handle = open(path)  # expect: TD205
+    return handle.read()
+
+
+class FlushyWriter:
+    def __init__(self, handle):
+        self._handle = handle
+
+    def flush(self):
+        self._handle.flush()
+
+    def close(self):
+        self.flush()  # expect: TD206
+        self._handle.close()
+
+
+def cleanup_loop(resources):
+    try:
+        return len(resources)
+    finally:
+        for resource in resources:
+            resource.close()  # expect: TD207

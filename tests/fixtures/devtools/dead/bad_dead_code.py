@@ -1,0 +1,8 @@
+# Dead code: an unused import and an unreferenced top-level helper.
+# repro: ignore-file[TY701]
+import json  # expect: DC602
+import os
+
+
+def orphan_helper():  # expect: DC601
+    return os.getpid()

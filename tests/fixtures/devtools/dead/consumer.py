@@ -1,0 +1,4 @@
+# Usage-only root: references live_helper so it is not reported dead.
+from good_dead_code import live_helper
+
+print(live_helper())

@@ -1,0 +1,8 @@
+# Live code: the import is used here, the helper is used by consumer.py
+# (loaded as a usage-only root, the way tests keep src symbols alive).
+# repro: ignore-file[TY701]
+import os
+
+
+def live_helper():
+    return os.getpid()

@@ -1,0 +1,24 @@
+# Sanctioned counterparts: seeded generators and sorted set iteration.
+# repro: ignore-file[DC601,DC602,TY701]
+import random
+
+import numpy as np
+
+
+def seeded_stdlib(seed):
+    return random.Random(seed).random()
+
+
+def seeded_numpy(seed):
+    return np.random.default_rng(seed).random(4)
+
+
+def sorted_iteration(names):
+    ordered = []
+    for name in sorted(set(names)):
+        ordered.append(name)
+    return ordered
+
+
+def sorted_join(names):
+    return ",".join(sorted({name.strip() for name in names}))

@@ -1,0 +1,29 @@
+# Sanctioned counterparts of the bad_fork_safety patterns.
+# repro: ignore-file[DC601,DC602,TY701]
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_STAGING = None  # repro: fork-shared
+
+_LOCK = threading.Lock()
+
+
+def _rebind_staging(value):
+    global _STAGING
+    _STAGING = value
+
+
+def _guarded_section():
+    with _LOCK:
+        return _STAGING
+
+
+def _start_feeder_after_submits(chunks):
+    feeder = threading.Thread(target=print, args=(chunks,))
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        future = pool.submit(len, chunks)
+        feeder.start()
+    try:
+        return future
+    finally:
+        feeder.join()

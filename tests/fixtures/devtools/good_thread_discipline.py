@@ -1,0 +1,80 @@
+# Sanctioned counterparts of the bad_thread_discipline patterns.
+# repro: ignore-file[DC601,DC602,TY701]
+import threading
+
+
+def with_lock(lock):
+    with lock:
+        return True
+
+
+def acquire_release_in_finally(lock):
+    lock.acquire()
+    try:
+        return True
+    finally:
+        lock.release()
+
+
+def polling_get(work_queue):
+    return work_queue.get(timeout=0.1)
+
+
+def nonblocking_put(result_channel, item):
+    result_channel.put(item, block=False)
+
+
+class BoundedHandoff:
+    """Sanctioned wrapper: bare get/put are allowed inside *Handoff classes."""
+
+    def __init__(self, queue):
+        self._queue = queue
+
+    def pull(self):
+        return self._queue.get(timeout=0.1)
+
+
+def joined_thread():
+    worker = threading.Thread(target=print)
+    worker.start()
+    try:
+        return True
+    finally:
+        worker.join()
+
+
+def managed_executor(items):
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return [pool.submit(len, item) for item in items]
+
+
+def managed_handle(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+class SafeWriter:
+    def __init__(self, path):
+        self._handle = open(path, "w")
+
+    def flush(self):
+        self._handle.flush()
+
+    def close(self):
+        try:
+            self.flush()
+        finally:
+            self._handle.close()
+
+
+def guarded_cleanup_loop(resources):
+    try:
+        return len(resources)
+    finally:
+        for resource in resources:
+            try:
+                resource.close()
+            except OSError:
+                pass

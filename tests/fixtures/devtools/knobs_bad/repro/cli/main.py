@@ -1,0 +1,7 @@
+# CLI wiring both ProbeConfig fields; 'width' has no validation.
+# repro: ignore-file[DC601,DC602,TY701]
+from ..config import ProbeConfig
+
+
+def build(args):
+    return ProbeConfig(depth=args.depth, width=args.width)

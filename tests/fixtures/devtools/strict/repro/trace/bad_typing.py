@@ -1,0 +1,6 @@
+# Strict-layer module (repro.trace.*) with incomplete annotations.
+# repro: ignore-file[DC601,DC602]
+
+
+def half_annotated(count: int, scale):  # expect: TY701
+    return count * scale

@@ -1,0 +1,6 @@
+# Strict-layer module with complete annotations.
+# repro: ignore-file[DC601,DC602]
+
+
+def fully_annotated(count: int, scale: float) -> float:
+    return count * scale

@@ -1,0 +1,12 @@
+# Violations silenced by line pragmas — the corpus expects no findings.
+# repro: ignore-file[DC601,DC602,TY701]
+import random
+
+
+def silenced_rng():
+    return random.random()  # repro: ignore[DT301]
+
+
+def silenced_everything(lock):
+    lock.acquire()  # repro: ignore
+    return lock

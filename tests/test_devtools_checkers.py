@@ -1,0 +1,114 @@
+"""Corpus-driven checker tests.
+
+Every rule family has a bad/good fixture pair under
+``tests/fixtures/devtools/``.  Bad fixtures carry ``# expect: RULE[, RULE]``
+markers on the offending lines; the corpus test asserts the checkers report
+exactly that multiset of ``(file, rule, line)`` — so a missing finding, an
+extra finding, or a finding on the wrong line all fail.  Good fixtures have
+no markers and must produce no findings.  A final test asserts that every
+rule in the catalogue fires somewhere in the corpus, so a new rule cannot
+land without a fixture proving it works.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.check import collect_findings
+from repro.devtools.checkers import ALL_CHECKERS, rule_catalogue
+from repro.devtools.source import Project
+
+FIXTURES = Path(__file__).parent / "fixtures" / "devtools"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+#: Corpus units: (id, paths to check, usage-only paths).
+UNITS = [
+    ("fork-safety-bad", ["bad_fork_safety.py"], []),
+    ("fork-safety-good", ["good_fork_safety.py"], []),
+    ("thread-discipline-bad", ["bad_thread_discipline.py"], []),
+    ("thread-discipline-good", ["good_thread_discipline.py"], []),
+    ("determinism-bad", ["bad_determinism.py"], []),
+    ("determinism-good", ["good_determinism.py"], []),
+    ("wallclock-bad", ["analysis/bad_wallclock.py"], []),
+    ("wallclock-good", ["analysis/good_wallclock.py"], []),
+    ("dead-code-bad", ["dead/bad_dead_code.py"], []),
+    ("dead-code-good", ["dead/good_dead_code.py"], ["dead/consumer.py"]),
+    ("layering-bad", ["layered_bad"], []),
+    ("layering-good", ["layered_good"], []),
+    ("config-knobs-bad", ["knobs_bad"], []),
+    ("config-knobs-good", ["knobs_good"], []),
+    ("typing-bad", ["strict/repro/trace/bad_typing.py"], []),
+    ("typing-good", ["strict/repro/trace/good_typing.py"], []),
+    ("suppressed", ["suppressed.py"], []),
+]
+
+
+def _expected_for(path: Path) -> Counter:
+    expected: Counter = Counter()
+    display = str(path.relative_to(FIXTURES))
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule in match.group("rules").split(","):
+            expected[(display, rule.strip(), lineno)] += 1
+    return expected
+
+
+def _unit_findings(paths: list[str], usage: list[str]) -> Counter:
+    project = Project.load(
+        [FIXTURES / p for p in paths],
+        root=FIXTURES,
+        usage_roots=[FIXTURES / p for p in usage],
+    )
+    assert project.parse_errors == []
+    return Counter(
+        (finding.path, finding.rule, finding.line)
+        for finding in collect_findings(project)
+    )
+
+
+@pytest.mark.parametrize(
+    "paths,usage", [(paths, usage) for _, paths, usage in UNITS],
+    ids=[unit_id for unit_id, _, _ in UNITS],
+)
+def test_corpus_unit_reports_exactly_the_marked_findings(paths, usage):
+    expected: Counter = Counter()
+    for path in paths:
+        full = FIXTURES / path
+        files = sorted(full.rglob("*.py")) if full.is_dir() else [full]
+        for file_path in files:
+            expected += _expected_for(file_path)
+    assert _unit_findings(paths, usage) == expected
+
+
+def test_every_rule_fires_somewhere_in_the_corpus():
+    seen: set[str] = set()
+    for _, paths, usage in UNITS:
+        seen |= {rule for _, rule, _ in _unit_findings(paths, usage)}
+    assert seen == set(rule_catalogue())
+
+
+def test_rule_catalogue_has_no_duplicate_ids():
+    catalogue = rule_catalogue()
+    declared = [rule.rule_id for checker in ALL_CHECKERS for rule in checker.rules]
+    assert sorted(catalogue) == sorted(declared)
+
+
+def test_usage_only_modules_never_receive_findings():
+    # Load a violating file as a usage root: it must contribute references
+    # but produce no findings of its own.
+    project = Project.load(
+        [FIXTURES / "good_determinism.py"],
+        root=FIXTURES,
+        usage_roots=[FIXTURES / "bad_determinism.py"],
+    )
+    findings = collect_findings(project)
+    assert findings == []

@@ -1,0 +1,224 @@
+"""Driver tests: baselines, suppressions, JSON output, exit codes.
+
+Locks down the gate's operational contract: a violation fails the build
+(the CI self-test), a baselined violation does not (adoption without a
+flag day), the baseline tolerates line moves but not duplication, and the
+JSON output keeps its schema.  The final test is the acceptance gate for
+the repo itself: ``python -m repro.devtools.check src/repro`` exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.check import main
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.suppress import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A one-line FS101 violation (thread constructed at import time).
+VIOLATION = "import threading\n_T = threading.Thread(target=print)  # repro: ignore[DC601]\n"
+
+
+def _write_violation(directory: Path, name: str = "probe.py") -> Path:
+    path = directory / name
+    path.write_text(VIOLATION, encoding="utf-8")
+    return path
+
+
+def _run(tmp_path: Path, *extra: str, files: list[Path]) -> int:
+    argv = [str(f) for f in files]
+    argv += ["--root", str(tmp_path), "--baseline", str(tmp_path / "baseline.json")]
+    argv += list(extra)
+    return main(argv)
+
+
+class TestExitCodes:
+    def test_injected_violation_fails_the_gate(self, tmp_path):
+        """The CI self-test: a known-bad file must exit nonzero."""
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, files=[probe]) == 1
+
+    def test_clean_file_passes(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Nothing wrong here."""\n', encoding="utf-8")
+        assert _run(tmp_path, files=[clean]) == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--select", "ZZ999", files=[probe]) == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        assert _run(tmp_path, files=[tmp_path / "absent.py"]) == 2
+
+    def test_parse_error_fails_the_gate(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def half(:\n", encoding="utf-8")
+        assert _run(tmp_path, files=[broken]) == 1
+
+    def test_select_and_ignore_filter_rules(self, tmp_path):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--select", "DT301", files=[probe]) == 0
+        assert _run(tmp_path, "--ignore", "FS101", files=[probe]) == 0
+        assert _run(tmp_path, "--select", "FS101", files=[probe]) == 1
+
+    def test_list_rules(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("FS101", "TD206", "DT302", "LY401", "CK501", "DC601", "TY701"):
+            assert rule_id in out
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_check_is_clean(self, tmp_path):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--write-baseline", files=[probe]) == 0
+        assert (tmp_path / "baseline.json").exists()
+        assert _run(tmp_path, files=[probe]) == 0
+
+    def test_new_violation_still_fails_after_baselining(self, tmp_path, capsys):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--write-baseline", files=[probe]) == 0
+        capsys.readouterr()
+        probe.write_text(
+            VIOLATION + "_T2 = threading.Thread(target=len)  # repro: ignore[DC601]\n",
+            encoding="utf-8",
+        )
+        assert _run(tmp_path, files=[probe]) == 1
+        out = capsys.readouterr().out
+        assert "_T2" not in out  # findings name rules, not variables
+        assert out.count("FS101") == 1  # only the NEW thread is reported
+
+    def test_baseline_tolerates_line_moves(self, tmp_path):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--write-baseline", files=[probe]) == 0
+        probe.write_text("# a new leading comment\n" + VIOLATION, encoding="utf-8")
+        assert _run(tmp_path, files=[probe]) == 0
+
+    def test_baseline_multiplicity_is_consumed(self):
+        def finding(line: int) -> Finding:
+            return Finding(
+                rule="FS101",
+                path="x.py",
+                line=line,
+                column=0,
+                message="m",
+                severity=Severity.ERROR,
+                source_line="_T = threading.Thread(target=print)",
+            )
+
+        baseline = Baseline.from_findings([finding(2)])
+        new, old = baseline.partition([finding(2), finding(9)])
+        assert [f.line for f in old] == [2]
+        assert [f.line for f in new] == [9]  # duplicate beyond the count is new
+
+    def test_baseline_file_is_reviewable_json(self, tmp_path):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--write-baseline", files=[probe]) == 0
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["version"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "FS101"
+        assert entry["path"] == "probe.py"
+        assert entry["count"] == 1
+        assert "threading.Thread" in entry["source_line"]
+        assert entry["fingerprint"]
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path, capsys):
+        probe = _write_violation(tmp_path)
+        assert _run(tmp_path, "--format", "json", files=[probe]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"findings", "baselined", "parse_errors", "exit_code"}
+        assert payload["exit_code"] == 1
+        assert payload["baselined"] == 0
+        assert payload["parse_errors"] == []
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule", "path", "line", "column", "severity", "message", "fingerprint",
+        }
+        assert finding["rule"] == "FS101"
+        assert finding["path"] == "probe.py"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 2
+
+    def test_clean_tree_json(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Fine."""\n', encoding="utf-8")
+        assert _run(tmp_path, "--format", "json", files=[clean]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {
+            "findings": [], "baselined": 0, "parse_errors": [], "exit_code": 0,
+        }
+
+
+class TestSuppressions:
+    def test_line_pragma_round_trip(self, tmp_path):
+        probe = tmp_path / "probe.py"
+        probe.write_text(
+            "import threading\n"
+            "_T = threading.Thread(target=print)  # repro: ignore[FS101,DC601]\n",
+            encoding="utf-8",
+        )
+        assert _run(tmp_path, files=[probe]) == 0
+
+    def test_bare_ignore_silences_every_rule(self, tmp_path):
+        probe = tmp_path / "probe.py"
+        probe.write_text(
+            "import threading\n"
+            "_T = threading.Thread(target=print)  # repro: ignore\n",
+            encoding="utf-8",
+        )
+        assert _run(tmp_path, files=[probe]) == 0
+
+    def test_file_pragma_must_be_near_the_top(self):
+        near_top = "# repro: ignore-file[FS101]\n" + "\n" * 30 + "x = 1\n"
+        suppressions = parse_suppressions(near_top)
+        assert suppressions.is_suppressed("FS101", 32)
+        too_deep = "\n" * 30 + "# repro: ignore-file[FS101]\nx = 1\n"
+        suppressions = parse_suppressions(too_deep)
+        assert not suppressions.is_suppressed("FS101", 32)
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        source = 's = "# repro: ignore[FS101]"\n'
+        suppressions = parse_suppressions(source)
+        assert suppressions.line_rules == {}
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding("TD201", "m.py", 5, 0, "msg", Severity.ERROR, "lock.acquire()")
+        b = Finding("TD201", "m.py", 50, 4, "msg", Severity.ERROR, "lock.acquire()")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_rule_path_and_content(self):
+        base = Finding("TD201", "m.py", 5, 0, "msg", Severity.ERROR, "lock.acquire()")
+        assert base.fingerprint() != Finding(
+            "TD202", "m.py", 5, 0, "msg", Severity.ERROR, "lock.acquire()"
+        ).fingerprint()
+        assert base.fingerprint() != Finding(
+            "TD201", "n.py", 5, 0, "msg", Severity.ERROR, "lock.acquire()"
+        ).fingerprint()
+        assert base.fingerprint() != Finding(
+            "TD201", "m.py", 5, 0, "msg", Severity.ERROR, "other.acquire()"
+        ).fingerprint()
+
+
+def test_repo_tree_is_clean():
+    """Acceptance gate: the committed tree passes its own static analysis."""
+    exit_code = main(
+        [
+            str(REPO_ROOT / "src" / "repro"),
+            "--root",
+            str(REPO_ROOT),
+            "--baseline",
+            str(REPO_ROOT / "src" / "repro" / "devtools" / "baseline.json"),
+        ]
+    )
+    assert exit_code == 0

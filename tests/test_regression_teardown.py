@@ -1,0 +1,104 @@
+"""Regression tests for teardown defects surfaced by the static checkers.
+
+Both failed before their fixes:
+
+* TD206 (recorder.py): ``SelectiveTraceRecorder.close()`` ran ``flush()``
+  outside any try/finally, so a flush error mid-write leaked the OS handle
+  and left the recorder reusable in a half-written state.
+* TD207 (fleet.py): the serial fleet closed shard recorders in a bare
+  ``finally`` loop, so the first recorder whose ``close()`` raised aborted
+  the loop and leaked every later shard's output file — despite the
+  documented guarantee that all sibling shards close their files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fleet import ShardedTraceMonitor
+from repro.analysis.model import ReferenceModel
+from repro.analysis.recorder import SelectiveTraceRecorder
+from repro.config import DetectorConfig, MonitorConfig
+from repro.errors import RecorderError
+from repro.trace.event import EventTypeRegistry
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.stream import windows_by_duration
+
+WINDOW_US = 40_000
+MIX = {"mb_row_decode": 8.0, "frame_display": 1.0, "vsync": 1.0, "audio_decode": 2.0}
+
+
+class TestRecorderCloseIsExceptionSafe:
+    def test_failing_flush_still_releases_the_handle(self, tmp_path, monkeypatch):
+        recorder = SelectiveTraceRecorder(output_path=tmp_path / "out.jsonl")
+        handle = recorder._handle
+        assert handle is not None and not handle.closed
+
+        def boom() -> None:
+            raise RecorderError("disk full mid-flush")
+
+        monkeypatch.setattr(recorder, "flush", boom)
+        with pytest.raises(RecorderError, match="disk full"):
+            recorder.close()
+
+        # The flush error propagated, but the file handle must not leak and
+        # the recorder must be unusable afterwards.
+        assert handle.closed
+        assert recorder._handle is None
+        assert recorder.closed
+
+    def test_close_after_failed_close_is_a_noop(self, tmp_path, monkeypatch):
+        recorder = SelectiveTraceRecorder(output_path=tmp_path / "out.jsonl")
+
+        def boom() -> None:
+            raise RecorderError("disk full mid-flush")
+
+        monkeypatch.setattr(recorder, "flush", boom)
+        with pytest.raises(RecorderError):
+            recorder.close()
+        recorder.close()  # second close must not re-raise or re-open anything
+        assert recorder.closed
+
+
+class TestFleetClosesEveryShard:
+    def test_one_failing_recorder_close_does_not_leak_the_others(
+        self, tmp_path, monkeypatch
+    ):
+        registry = EventTypeRegistry()
+        for name in MIX:
+            registry.register(name)
+        generator = SyntheticTraceGenerator(MIX, rate_per_s=2_000, seed=7)
+        reference = list(windows_by_duration(generator.events(10.0), WINDOW_US))
+        model = ReferenceModel(k_neighbours=10).learn(reference, registry)
+
+        def shard_windows(seed: int):
+            gen = SyntheticTraceGenerator(MIX, rate_per_s=2_000, seed=seed)
+            return list(windows_by_duration(gen.events(2.0), WINDOW_US))
+
+        closed: list[str] = []
+        real_close = SelectiveTraceRecorder.close
+
+        def tracking_close(self) -> None:
+            name = self.output_path.name if self.output_path else ""
+            if name.startswith("bad") and not self.closed:
+                raise RecorderError(f"simulated close failure for {name}")
+            closed.append(name)
+            real_close(self)
+
+        monkeypatch.setattr(SelectiveTraceRecorder, "close", tracking_close)
+
+        fleet = ShardedTraceMonitor(
+            DetectorConfig(k_neighbours=10),
+            MonitorConfig(window_duration_us=WINDOW_US),
+            EventTypeRegistry(registry.names),
+        )
+        shards = {
+            "bad-shard": iter(shard_windows(100)),
+            "ok-shard": iter(shard_windows(101)),
+        }
+        with pytest.raises(RecorderError, match="bad-shard"):
+            fleet.monitor_shards(shards, model, output_dir=tmp_path)
+
+        # Before the fix the close loop stopped at the first failure, so
+        # "ok-shard" leaked its file handle; now every sibling still closes.
+        assert "ok-shard.jsonl" in closed
