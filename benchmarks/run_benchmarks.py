@@ -31,6 +31,7 @@ THROUGHPUT_BENCHMARKS = [
     "benchmarks/test_bench_ingest.py",
     "benchmarks/test_bench_streaming.py",
     "benchmarks/test_bench_knn.py",
+    "benchmarks/test_bench_fault_tolerance.py",
 ]
 
 

@@ -37,20 +37,38 @@ Two execution backends produce that same result:
   (:func:`~repro.analysis.parallel.monitor_shards_parallel`); the fitted
   model ships to each worker once, recorders stay worker-local, and the
   per-shard results are merged deterministically in submission order.
-  A worker exception surfaces as :class:`~repro.errors.FleetError` naming
-  the failing shard after every other shard has closed its output file.
+
+Fault tolerance (both backends):
+
+* ``MonitorConfig.shard_failure_policy`` — ``"abort"`` (default) re-raises
+  the first shard failure after every other shard has closed its output
+  file (as :class:`~repro.errors.FleetError` from the parallel backend,
+  the original exception from the serial one); ``"isolate"`` quarantines
+  the failing shard while its siblings run to completion, with the
+  failure reported as a :class:`ShardOutcome` on the result.
+* ``MonitorConfig.shard_retries`` / ``shard_retry_backoff_s`` — failed
+  shards with a replayable source are re-run from scratch, producing
+  bit-identical results to a fault-free run.
+* Crash consistency — recorders write to ``.partial`` files committed by
+  atomic rename only on a clean close, failed shards' partials are
+  removed, and runs with an ``output_dir`` get a ``manifest.json`` naming
+  every shard's status, attempts and output bytes.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import FleetError, ModelError
 from ..logging_util import get_logger
+from ..testing.faults import fault_point, shard_scope
 from ..trace.batch import WindowBatch
 from ..trace.columns import TraceColumns
 from ..trace.event import EventTypeRegistry
@@ -61,16 +79,20 @@ from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
 from .monitor import (
     MonitorResult,
+    ShardOutcome,
     build_shard_pipeline,
     detector_stats_snapshot,
     score_and_record_batch,
     shard_batches,
     shard_output_path,
 )
-from .parallel import monitor_shards_parallel
-from .recorder import RecorderReport, SelectiveTraceRecorder
+from .parallel import monitor_shards_parallel, source_replayable
+from .recorder import RecorderReport, SelectiveTraceRecorder, partial_output_path
 
-__all__ = ["FleetResult", "ShardedTraceMonitor"]
+__all__ = ["FleetResult", "ShardOutcome", "ShardedTraceMonitor"]
+
+#: File name of the per-run shard manifest written next to the outputs.
+MANIFEST_NAME = "manifest.json"
 
 _LOGGER = get_logger("analysis.fleet")
 
@@ -83,13 +105,24 @@ class FleetResult:
     ----------
     shard_results:
         Per-shard :class:`MonitorResult`, keyed by shard label in submission
-        order.
+        order.  Holds only the shards that completed; under
+        ``shard_failure_policy="isolate"`` quarantined shards appear in
+        ``outcomes`` instead, and every aggregate below covers the
+        survivors.
     model:
         The shared reference model every shard was scored against.
+    outcomes:
+        One :class:`ShardOutcome` per *submitted* shard (status, attempts,
+        error summary), in submission order.
+    diagnostics:
+        Teardown warnings that did not fail the run but should not be
+        silent (e.g. a feeder thread abandoned after its join timeout).
     """
 
     shard_results: dict[str, MonitorResult]
     model: ReferenceModel
+    outcomes: dict[str, ShardOutcome] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Shard access
@@ -110,6 +143,26 @@ class FleetResult:
             return self.shard_results[label]
         except KeyError:
             raise FleetError(f"unknown shard label: {label!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Failure accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def failed_labels(self) -> tuple[str, ...]:
+        """Labels of quarantined shards, in submission order."""
+        return tuple(
+            label for label, outcome in self.outcomes.items() if not outcome.ok
+        )
+
+    @property
+    def n_failed(self) -> int:
+        """Number of quarantined shards."""
+        return len(self.failed_labels)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run completed with at least one quarantined shard."""
+        return self.n_failed > 0
 
     # ------------------------------------------------------------------ #
     # Fleet-wide reductions
@@ -178,9 +231,16 @@ class FleetResult:
                 "n_windows": self.n_windows,
                 "n_anomalous": self.n_anomalous,
                 "anomaly_rate": self.anomaly_rate,
+                "n_failed": self.n_failed,
+                "degraded": self.degraded,
                 "detector_stats": self.detector_stats,
                 **self.report.to_dict(),
             },
+            "outcomes": {
+                label: outcome.to_dict()
+                for label, outcome in self.outcomes.items()
+            },
+            "diagnostics": list(self.diagnostics),
             "shards": {
                 label: {
                     "n_windows": result.n_windows,
@@ -198,7 +258,16 @@ class FleetResult:
 class _Shard:
     """Mutable per-stream state while the fleet is running."""
 
-    __slots__ = ("label", "registry", "detector", "recorder", "batches", "decisions")
+    __slots__ = (
+        "label",
+        "registry",
+        "detector",
+        "recorder",
+        "batches",
+        "decisions",
+        "source",
+        "attempt",
+    )
 
     def __init__(
         self,
@@ -207,6 +276,8 @@ class _Shard:
         detector: OnlineAnomalyDetector,
         recorder: SelectiveTraceRecorder,
         batches: Iterator[WindowBatch],
+        source: object = None,
+        attempt: int = 1,
     ) -> None:
         self.label = label
         self.registry = registry
@@ -214,6 +285,9 @@ class _Shard:
         self.recorder = recorder
         self.batches = batches
         self.decisions: list[WindowDecision] = []
+        # Original window source and 1-based run number, kept for retries.
+        self.source = source
+        self.attempt = attempt
 
 
 class ShardedTraceMonitor:
@@ -313,7 +387,7 @@ class ShardedTraceMonitor:
         if len(set(labels)) != len(labels):
             raise FleetError("shard labels must be unique")
         if self.monitor_config.fleet_workers > 1 and labels:
-            ordered = monitor_shards_parallel(
+            ordered, outcomes, diagnostics = monitor_shards_parallel(
                 shards,
                 model,
                 self.detector_config,
@@ -323,16 +397,24 @@ class ShardedTraceMonitor:
                 keep_events=keep_events,
             )
         else:
-            ordered = self._monitor_shards_serial(
+            ordered, outcomes, diagnostics = self._monitor_shards_serial(
                 shards, labels, model, output_dir, keep_events
             )
-        result = FleetResult(shard_results=ordered, model=model)
+        result = FleetResult(
+            shard_results=ordered,
+            model=model,
+            outcomes=outcomes,
+            diagnostics=diagnostics,
+        )
+        if output_dir is not None:
+            self._write_manifest(Path(output_dir), outcomes)
         _LOGGER.info(
-            "fleet done: %d shards, %d windows, %d anomalous, "
+            "fleet done: %d shards, %d windows, %d anomalous, %d failed, "
             "reduction factor %.1f",
             result.n_shards,
             result.n_windows,
             result.n_anomalous,
+            result.n_failed,
             result.report.reduction_factor,
         )
         return result
@@ -347,32 +429,69 @@ class ShardedTraceMonitor:
         model: ReferenceModel,
         output_dir: str | Path | None,
         keep_events: bool,
-    ) -> dict[str, MonitorResult]:
-        """Interleave every shard batch-by-batch in this process."""
+    ) -> tuple[dict[str, MonitorResult], dict[str, ShardOutcome], tuple[str, ...]]:
+        """Interleave every shard batch-by-batch in this process.
+
+        Failure handling follows ``MonitorConfig.shard_failure_policy``:
+        a failing shard's recorder is discarded (its ``.partial`` file
+        removed, nothing committed under the final name), then the shard
+        is retried from scratch while budget remains and its source is
+        replayable, quarantined under ``"isolate"``, or — the default
+        ``"abort"`` — its original exception propagates after every
+        sibling closed its output file.
+        """
         cap = self.monitor_config.max_active_shards
         if cap is None:
             cap = max(len(labels), 1)
 
-        pending = deque(shards.items())
+        pending: deque[tuple[str, object, int]] = deque(
+            (label, source, 1) for label, source in shards.items()
+        )
         active: deque[_Shard] = deque()
         opened: list[_Shard] = []
         results: dict[str, MonitorResult] = {}
+        outcomes: dict[str, ShardOutcome] = {}
         try:
             while pending or active:
                 while pending and len(active) < cap:
-                    label, windows = pending.popleft()
-                    shard = self._activate(
-                        label, windows, model, output_dir, keep_events
-                    )
+                    label, source, attempt = pending.popleft()
+                    try:
+                        with shard_scope(label, attempt):
+                            shard = self._activate(
+                                label, source, model, output_dir, keep_events,
+                                attempt,
+                            )
+                    except Exception as exc:
+                        self._handle_shard_failure(
+                            label, source, attempt, exc, pending, outcomes
+                        )
+                        continue
                     opened.append(shard)
                     active.append(shard)
-                shard = active.popleft()
-                batch = next(shard.batches, None)
-                if batch is None:
-                    results[shard.label] = self._finalize(shard, model)
+                if not active:
                     continue
-                self._process_batch(shard, batch)
-                active.append(shard)
+                shard = active.popleft()
+                try:
+                    with shard_scope(shard.label, shard.attempt):
+                        batch = next(shard.batches, None)
+                        if batch is None:
+                            results[shard.label] = self._finalize(shard, model)
+                        else:
+                            fault_point("shard.batch")
+                            self._process_batch(shard, batch)
+                except Exception as exc:
+                    shard.recorder.discard()
+                    self._handle_shard_failure(
+                        shard.label, shard.source, shard.attempt, exc,
+                        pending, outcomes,
+                    )
+                    continue
+                if batch is None:
+                    outcomes[shard.label] = ShardOutcome(
+                        shard.label, "ok", shard.attempt
+                    )
+                else:
+                    active.append(shard)
         except BaseException:
             # Already unwinding: close everything best-effort so one failing
             # recorder cannot leak the rest, but let the original error win.
@@ -400,7 +519,76 @@ class ShardedTraceMonitor:
         if close_error is not None:
             raise close_error
 
-        return {label: results[label] for label in labels}
+        return (
+            {label: results[label] for label in labels if label in results},
+            {label: outcomes[label] for label in labels},
+            (),
+        )
+
+    def _handle_shard_failure(
+        self,
+        label: str,
+        source: object,
+        attempt: int,
+        exc: Exception,
+        pending: "deque[tuple[str, object, int]]",
+        outcomes: dict[str, ShardOutcome],
+    ) -> None:
+        """Route one shard failure: retry, quarantine, or abort (re-raise)."""
+        config = self.monitor_config
+        if attempt <= config.shard_retries and source_replayable(source):
+            _LOGGER.warning(
+                "shard %r attempt %d failed, retrying: %s", label, attempt, exc
+            )
+            if config.shard_retry_backoff_s > 0.0:
+                time.sleep(config.shard_retry_backoff_s * attempt)
+            pending.append((label, source, attempt + 1))
+            return
+        if config.shard_failure_policy == "isolate":
+            error = f"{type(exc).__name__}: {exc}"
+            _LOGGER.error(
+                "shard %r failed after %d attempt(s), quarantined: %s",
+                label,
+                attempt,
+                error,
+            )
+            outcomes[label] = ShardOutcome(label, "failed", attempt, error=error)
+            return
+        raise exc
+
+    def _write_manifest(
+        self, output_dir: Path, outcomes: Mapping[str, ShardOutcome]
+    ) -> Path:
+        """Atomically write ``manifest.json`` describing every shard's output.
+
+        Failed shards get their leftover ``.partial`` file removed here (a
+        hard-killed worker cannot clean up after itself), so after any run
+        the directory holds only committed outputs plus the manifest —
+        never a truncated file that looks valid.
+        """
+        config = self.monitor_config
+        shards: dict[str, dict[str, object]] = {}
+        for label, outcome in outcomes.items():
+            path = shard_output_path(output_dir, label, config)
+            entry = dict(outcome.to_dict())
+            if outcome.ok and path.exists():
+                entry["output"] = path.name
+                entry["output_bytes"] = path.stat().st_size
+            else:
+                partial_output_path(path).unlink(missing_ok=True)
+                entry["output"] = None
+                entry["output_bytes"] = None
+            shards[label] = entry
+        manifest = {
+            "policy": config.shard_failure_policy,
+            "recording_format": config.recording_format,
+            "shards": shards,
+        }
+        manifest_path = output_dir / MANIFEST_NAME
+        temp_path = manifest_path.with_name(manifest_path.name + ".partial")
+        temp_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        os.replace(temp_path, manifest_path)
+        return manifest_path
 
     @staticmethod
     def _label_streams(
@@ -420,7 +608,9 @@ class ShardedTraceMonitor:
         model: ReferenceModel,
         output_dir: str | Path | None,
         keep_events: bool,
+        attempt: int = 1,
     ) -> _Shard:
+        fault_point("shard.start", label, attempt)
         config = self.monitor_config
         output_path = (
             shard_output_path(output_dir, label, config)
@@ -435,8 +625,17 @@ class ShardedTraceMonitor:
             output_path=output_path,
             keep_events=keep_events,
         )
-        batches = iter(shard_batches(windows, shard_registry, config))
-        return _Shard(label, shard_registry, detector, recorder, batches)
+        try:
+            batches = iter(shard_batches(windows, shard_registry, config))
+        except Exception:
+            # The recorder opened its .partial file above; a source that
+            # fails at activation must not leak it.
+            recorder.discard()
+            raise
+        return _Shard(
+            label, shard_registry, detector, recorder, batches,
+            source=windows, attempt=attempt,
+        )
 
     @staticmethod
     def _process_batch(shard: _Shard, batch: WindowBatch) -> None:

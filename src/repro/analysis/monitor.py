@@ -34,7 +34,7 @@ from ..trace.stream import (
     column_windows_by_duration,
     materialize_layout_windows,
 )
-from ..trace.streaming import StreamingWindowSource
+from ..trace.streaming import StreamRecipe, StreamingWindowSource, StreamStats
 from ..trace.window import TraceWindow
 from .detector import OnlineAnomalyDetector, WindowDecision
 from .model import ReferenceModel
@@ -42,6 +42,7 @@ from .recorder import RecorderReport, SelectiveTraceRecorder
 
 __all__ = [
     "MonitorResult",
+    "ShardOutcome",
     "TraceMonitor",
     "build_shard_pipeline",
     "detector_stats_snapshot",
@@ -197,6 +198,9 @@ class MonitorResult:
         Number of windows consumed by the learning step.
     detector_stats:
         Counters from the detector (windows merged, LOF computations, ...).
+    stream_stats:
+        Ingest accounting of the streaming source (chunk/window counters,
+        corrupt-record quarantine tallies); ``None`` for one-shot runs.
     """
 
     decisions: list[WindowDecision]
@@ -205,6 +209,7 @@ class MonitorResult:
     recorded_indices: list[int]
     reference_window_count: int = 0
     detector_stats: dict[str, float] = field(default_factory=dict)
+    stream_stats: StreamStats | None = None
 
     @property
     def n_windows(self) -> int:
@@ -230,6 +235,48 @@ class MonitorResult:
     def lof_scores(self) -> list[float | None]:
         """LOF score per monitored window (``None`` when not computed)."""
         return [decision.lof_score for decision in self.decisions]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Terminal status of one shard in a fleet run.
+
+    Every shard submitted to :class:`~repro.analysis.fleet.ShardedTraceMonitor`
+    gets exactly one outcome, whether it succeeded or was quarantined under
+    ``MonitorConfig.shard_failure_policy="isolate"`` — failures are reported,
+    never silently dropped.
+
+    Attributes
+    ----------
+    label:
+        The shard's label.
+    status:
+        ``"ok"`` (a :class:`MonitorResult` exists for the shard) or
+        ``"failed"`` (the shard was quarantined; no result, no output file).
+    attempts:
+        Number of runs the shard took, including retries
+        (``MonitorConfig.shard_retries``).
+    error:
+        Summary of the final failure, ``None`` for succeeded shards.
+    """
+
+    label: str
+    status: str
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the shard completed successfully."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (fleet summaries, the output manifest)."""
+        return {
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
 
 
 class TraceMonitor:
@@ -541,13 +588,15 @@ class TraceMonitor:
         )
         if prefetch_batches > 0:
             batches = _prefetch_batches(batches, prefetch_batches)
-        return self.monitor_batches(
+        result = self.monitor_batches(
             batches,
             model,
             output_path=output_path,
             keep_events=keep_events,
             reference_window_count=reference_count,
         )
+        result.stream_stats = source.stats
+        return result
 
     def follow_file(
         self,
@@ -560,6 +609,7 @@ class TraceMonitor:
         idle_timeout_s: float | None = None,
         stop: threading.Event | None = None,
         chunk_bytes: int = 1 << 20,
+        on_corrupt: str = "raise",
     ) -> MonitorResult:
         """Follow a (possibly still-growing) trace file and monitor it live.
 
@@ -567,10 +617,13 @@ class TraceMonitor:
         consumed as the tracer appends them (see
         :class:`~repro.trace.streaming.FileTail` for the poll / idle /
         stop semantics) and the result is bit-identical to a one-shot read
-        of the final file.
+        of the final file.  ``on_corrupt="skip"`` quarantines mangled
+        records instead of failing the stream; the skip tally lands in
+        ``result.stream_stats``.
         """
         source = StreamingWindowSource.follow(
             path,
+            recipe=StreamRecipe(on_corrupt=on_corrupt),
             poll_interval_s=poll_interval_s,
             idle_timeout_s=idle_timeout_s,
             stop=stop,

@@ -82,6 +82,7 @@ import multiprocessing
 import pickle
 import queue as _queue
 import threading
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -92,6 +93,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from ..config import DetectorConfig, MonitorConfig
 from ..errors import FleetError, TraceStreamError
 from ..logging_util import get_logger
+from ..testing.faults import fault_point, shard_scope
 from ..trace.columns import TraceColumns
 from ..trace.stream import ColumnarWindowSource
 from ..trace.streaming import StreamingWindowSource, StreamRecipe
@@ -100,6 +102,7 @@ from .detector import WindowDecision
 from .model import ReferenceModel
 from .monitor import (
     MonitorResult,
+    ShardOutcome,
     build_shard_pipeline,
     detector_stats_snapshot,
     score_and_record_batch,
@@ -108,7 +111,11 @@ from .monitor import (
 )
 from .recorder import RecorderReport
 
-__all__ = ["fork_transport_available", "monitor_shards_parallel"]
+__all__ = [
+    "fork_transport_available",
+    "monitor_shards_parallel",
+    "source_replayable",
+]
 
 _LOGGER = get_logger("analysis.parallel")
 
@@ -151,6 +158,9 @@ class _ShardTask:
     #: Manager-queue proxy on pickle-transport platforms; ``None`` on fork
     #: platforms, where the channel is inherited via :data:`_SHARD_CHANNELS`.
     channel: object | None = None
+    #: 1-based run number of this shard (grows across retry waves); threaded
+    #: into the fault-injection scope so chaos plans stay deterministic.
+    attempt: int = 1
 
 
 @dataclass
@@ -190,6 +200,28 @@ _SHARD_CHANNELS: "dict[str, object] | None" = None  # repro: fork-shared
 #: How long channel operations wait before re-checking for shutdown
 #: (feeder side: the run was abandoned; worker side: the parent died).
 _CHANNEL_POLL_S = 0.1
+
+#: How long pool teardown waits for each feeder thread before abandoning it
+#: (they are daemons); an abandoned feeder is surfaced as a diagnostic on
+#: the fleet result, never silently ignored.  Module-level so tests can
+#: shrink it.
+_FEEDER_JOIN_TIMEOUT_S = 5.0
+
+
+def source_replayable(source: object) -> bool:
+    """Whether a shard's window source can be re-run from scratch.
+
+    Retrying a shard re-builds its whole pipeline and re-iterates its
+    windows, so only sources that yield the same windows again qualify:
+    materialised sequences and columnar sources.  One-shot iterators and
+    live streams are consumed by the failed attempt — retrying them would
+    silently score a different (suffix) stream, so they fail terminally.
+    """
+    if isinstance(source, (TraceColumns, ColumnarWindowSource)):
+        return True
+    if isinstance(source, StreamingWindowSource):
+        return False
+    return isinstance(source, Sequence)
 
 
 def fork_transport_available() -> bool:
@@ -291,6 +323,7 @@ def _initialize_worker(payload: bytes) -> None:
     alias of the parent's.
     """
     global _WORKER_STATE
+    fault_point("worker.boot")
     _WORKER_STATE = pickle.loads(payload)
 
 
@@ -308,48 +341,55 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         return _ShardOutcome(
             label=task.label, error="worker process was never initialised"
         )
+    recorder = None
     try:
-        if task.chunk_kind is not None:
-            channel = task.channel
-            if channel is None:
-                if _SHARD_CHANNELS is None or task.label not in _SHARD_CHANNELS:
-                    return _ShardOutcome(
-                        label=task.label,
-                        error="shard channel was neither pickled nor "
-                        "fork-inherited",
+        with shard_scope(task.label, task.attempt):
+            fault_point("shard.start")
+            if task.chunk_kind is not None:
+                channel = task.channel
+                if channel is None:
+                    if _SHARD_CHANNELS is None or task.label not in _SHARD_CHANNELS:
+                        return _ShardOutcome(
+                            label=task.label,
+                            error="shard channel was neither pickled nor "
+                            "fork-inherited",
+                        )
+                    channel = _SHARD_CHANNELS[task.label]
+                chunks = _iter_channel_chunks(channel, task.label)
+                if task.chunk_kind == "columns":
+                    recipe = (
+                        task.recipe if task.recipe is not None else StreamRecipe()
                     )
-                channel = _SHARD_CHANNELS[task.label]
-            chunks = _iter_channel_chunks(channel, task.label)
-            if task.chunk_kind == "columns":
-                recipe = task.recipe if task.recipe is not None else StreamRecipe()
-                windows = StreamingWindowSource(
-                    columns_chunks=chunks, recipe=recipe
-                )
+                    windows = StreamingWindowSource(
+                        columns_chunks=chunks, recipe=recipe
+                    )
+                else:
+                    windows = chain.from_iterable(chunks)
+            elif task.windows is not None:
+                windows = task.windows
+            elif _SHARD_WINDOWS is not None and task.label in _SHARD_WINDOWS:
+                windows = _SHARD_WINDOWS[task.label]
             else:
-                windows = chain.from_iterable(chunks)
-        elif task.windows is not None:
-            windows = task.windows
-        elif _SHARD_WINDOWS is not None and task.label in _SHARD_WINDOWS:
-            windows = _SHARD_WINDOWS[task.label]
-        else:
-            return _ShardOutcome(
-                label=task.label,
-                error="shard windows were neither pickled nor fork-inherited",
+                return _ShardOutcome(
+                    label=task.label,
+                    error="shard windows were neither pickled nor fork-inherited",
+                )
+            config = state.monitor_config
+            registry, detector, recorder = build_shard_pipeline(
+                state.model,
+                state.detector_config,
+                config,
+                state.registry_names,
+                output_path=task.output_path,
+                keep_events=task.keep_events,
             )
-        config = state.monitor_config
-        registry, detector, recorder = build_shard_pipeline(
-            state.model,
-            state.detector_config,
-            config,
-            state.registry_names,
-            output_path=task.output_path,
-            keep_events=task.keep_events,
-        )
-        decisions: list[WindowDecision] = []
-        try:
+            decisions: list[WindowDecision] = []
             for batch in shard_batches(windows, registry, config):
+                fault_point("shard.batch")
                 decisions.extend(score_and_record_batch(detector, recorder, batch))
-        finally:
+            # Only a clean run commits the output file (atomic rename);
+            # the failure path below discards the .partial instead, so a
+            # failed shard never leaves output that looks valid.
             recorder.close()
         return _ShardOutcome(
             label=task.label,
@@ -359,36 +399,47 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
             detector_stats=detector_stats_snapshot(detector),
         )
     except Exception as exc:
+        if recorder is not None:
+            try:
+                recorder.discard()
+            except Exception:  # noqa: BLE001 - the original error must win
+                _LOGGER.exception(
+                    "shard %r recorder discard failed after shard error",
+                    task.label,
+                )
         return _ShardOutcome(
             label=task.label,
             error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
         )
 
 
-def monitor_shards_parallel(
-    shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource | StreamingWindowSource]",
-    model: ReferenceModel,
-    detector_config: DetectorConfig,
+def _run_wave(
+    sources: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource | StreamingWindowSource]",
+    attempts: Mapping[str, int],
+    payload: bytes,
     monitor_config: MonitorConfig,
-    registry_names: Sequence[str],
-    output_dir: str | Path | None = None,
-    keep_events: bool = False,
-) -> dict[str, MonitorResult]:
-    """Run every shard in a process pool; results keyed in submission order.
+    output_dir: str | Path | None,
+    keep_events: bool,
+    diagnostics: list[str],
+) -> dict[str, _ShardOutcome]:
+    """Run one wave of shards through a fresh process pool.
 
-    The caller (:meth:`ShardedTraceMonitor.monitor_shards`) has already
-    validated the model and label uniqueness.  Raises :class:`FleetError`
-    naming the first failing shard (in submission order) after every shard
-    has finished and closed its output file.
+    Every shard in the wave gets exactly one :class:`_ShardOutcome` — a
+    worker exception arrives marshalled as data, and a pool-level failure
+    (a worker hard-killed mid-shard breaks the whole
+    :class:`ProcessPoolExecutor`) is converted into per-shard failures for
+    the futures it took down, so the retry/isolation logic upstream can
+    treat both uniformly.  The pool, channels and feeder threads are
+    wave-local: a retry wave after a broken pool starts from clean state.
     """
     global _SHARD_WINDOWS, _SHARD_CHANNELS
-    labels = list(shards)
+    labels = list(sources)
     use_fork = fork_transport_available()
     # Shards routed through bounded channels instead of materialisation:
     # live streaming sources always (they may be unbounded), plain window
     # iterables when the shard_chunk_windows knob asks for it.
     chunked: dict[str, tuple[str, object]] = {}
-    for label, source in shards.items():
+    for label, source in sources.items():
         if isinstance(source, StreamingWindowSource):
             chunked[label] = ("columns", source)
         elif isinstance(source, (TraceColumns, ColumnarWindowSource)):
@@ -401,7 +452,7 @@ def monitor_shards_parallel(
             if isinstance(source, (TraceColumns, ColumnarWindowSource))
             else tuple(source)
         )
-        for label, source in shards.items()
+        for label, source in sources.items()
         if label not in chunked
     }
     context = multiprocessing.get_context("fork") if use_fork else None
@@ -438,6 +489,7 @@ def monitor_shards_parallel(
                     chunk_kind=kind,
                     recipe=source.recipe if kind == "columns" else None,
                     channel=None if use_fork else channels[label],
+                    attempt=attempts[label],
                 )
             )
         else:
@@ -447,11 +499,12 @@ def monitor_shards_parallel(
                     None if use_fork else materialised[label],
                     output_path,
                     keep_events,
+                    attempt=attempts[label],
                 )
             )
     workers = max(1, min(monitor_config.fleet_workers, len(tasks)))
     _LOGGER.info(
-        "parallel fleet: %d shards across %d worker processes "
+        "parallel fleet wave: %d shards across %d worker processes "
         "(%s transport, %d chunked)",
         len(tasks),
         workers,
@@ -460,14 +513,8 @@ def monitor_shards_parallel(
     )
     outcomes: dict[str, _ShardOutcome] = {}
     stop_feeders = threading.Event()
-    feeders: list[threading.Thread] = []
+    feeders: list[tuple[str, threading.Thread]] = []
     try:
-        payload = pickle.dumps(
-            _WorkerState(
-                model, detector_config, monitor_config, tuple(registry_names)
-            ),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
         if use_fork:
             # Workers fork at first submission, inheriting this snapshot.
             _SHARD_WINDOWS = materialised
@@ -496,16 +543,20 @@ def monitor_shards_parallel(
                     name=f"repro-shard-feed-{label}",
                     daemon=True,
                 )
-                feeders.append(feeder)
+                feeders.append((label, feeder))
                 feeder.start()
             for label, future in futures:
-                outcomes[label] = future.result()
-    except FleetError:
-        raise
-    except Exception as exc:
-        # BrokenProcessPool, pickling failures of a result, pool start-up
-        # errors: anything that escaped the in-worker marshalling.
-        raise FleetError(f"parallel fleet execution failed: {exc}") from exc
+                try:
+                    outcomes[label] = future.result()
+                except Exception as exc:
+                    # A dead worker (hard kill, OOM) breaks the whole pool:
+                    # every future it takes down becomes a per-shard
+                    # failure, attributable and retriable like any other.
+                    outcomes[label] = _ShardOutcome(
+                        label=label,
+                        error=f"worker process failed: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
     finally:
         _SHARD_WINDOWS = None
         _SHARD_CHANNELS = None
@@ -519,8 +570,19 @@ def monitor_shards_parallel(
                     break
                 except (OSError, ValueError):
                     break
-        for feeder in feeders:
-            feeder.join(timeout=5.0)
+        for label, feeder in feeders:
+            feeder.join(timeout=_FEEDER_JOIN_TIMEOUT_S)
+            if feeder.is_alive():
+                # The 5 s grace expired with the (daemon) feeder still
+                # running: surface the abandonment instead of silently
+                # dropping it — it holds a chunk source that will never
+                # finish cleanly.
+                message = (
+                    f"feeder thread for shard {label!r} did not exit within "
+                    f"{_FEEDER_JOIN_TIMEOUT_S:g}s and was abandoned"
+                )
+                _LOGGER.warning(message)
+                diagnostics.append(message)
         for channel in channels.values():
             close = getattr(channel, "close", None)
             if close is not None and manager is None:
@@ -533,20 +595,122 @@ def monitor_shards_parallel(
                     pass
         if manager is not None:
             manager.shutdown()
-    for label in labels:
-        outcome = outcomes[label]
-        if outcome.error is not None:
-            raise FleetError(
-                f"shard {label!r} failed in a worker process: {outcome.error}"
+    return outcomes
+
+
+def monitor_shards_parallel(
+    shards: "Mapping[str, Iterable[TraceWindow] | TraceColumns | ColumnarWindowSource | StreamingWindowSource]",
+    model: ReferenceModel,
+    detector_config: DetectorConfig,
+    monitor_config: MonitorConfig,
+    registry_names: Sequence[str],
+    output_dir: str | Path | None = None,
+    keep_events: bool = False,
+) -> tuple[dict[str, MonitorResult], dict[str, ShardOutcome], tuple[str, ...]]:
+    """Run every shard in a process pool; results keyed in submission order.
+
+    The caller (:meth:`ShardedTraceMonitor.monitor_shards`) has already
+    validated the model and label uniqueness.  Failed shards are retried in
+    fresh pool waves while ``MonitorConfig.shard_retries`` budget remains
+    and their source is replayable (:func:`source_replayable`); a retried
+    shard re-runs from scratch, so its results are bit-identical to a
+    fault-free run.  Terminal failures follow
+    ``MonitorConfig.shard_failure_policy``: ``"abort"`` raises
+    :class:`FleetError` naming the first failing shard (in submission
+    order) after every shard has finished, ``"isolate"`` quarantines the
+    shard and returns the survivors.
+
+    Returns ``(results, outcomes, diagnostics)``: per-shard
+    :class:`MonitorResult` for succeeded shards, one
+    :class:`~repro.analysis.monitor.ShardOutcome` per submitted shard, and
+    teardown diagnostics (e.g. abandoned feeder threads).
+    """
+    labels = list(shards)
+    retries = monitor_config.shard_retries
+    backoff = monitor_config.shard_retry_backoff_s
+    payload = pickle.dumps(
+        _WorkerState(
+            model, detector_config, monitor_config, tuple(registry_names)
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    diagnostics: list[str] = []
+    final: dict[str, _ShardOutcome] = {}
+    attempts: dict[str, int] = {label: 1 for label in labels}
+    wave = labels
+    try:
+        while wave:
+            wave_outcomes = _run_wave(
+                {label: shards[label] for label in wave},
+                attempts,
+                payload,
+                monitor_config,
+                output_dir,
+                keep_events,
+                diagnostics,
             )
-    return {
-        label: MonitorResult(
-            decisions=outcomes[label].decisions,
-            report=outcomes[label].report,
+            retry_next: list[str] = []
+            for label in wave:
+                outcome = wave_outcomes[label]
+                if outcome.error is None:
+                    final[label] = outcome
+                    continue
+                attempt = attempts[label]
+                if attempt <= retries and source_replayable(shards[label]):
+                    _LOGGER.warning(
+                        "shard %r attempt %d failed, retrying: %s",
+                        label,
+                        attempt,
+                        outcome.error,
+                    )
+                    attempts[label] = attempt + 1
+                    retry_next.append(label)
+                else:
+                    final[label] = outcome
+            if retry_next and backoff > 0.0:
+                # All shards in a retry wave share the same attempt number
+                # (wave k holds exactly the shards that failed k-1 times).
+                time.sleep(backoff * (attempts[retry_next[0]] - 1))
+            wave = retry_next
+    except FleetError:
+        raise
+    except Exception as exc:
+        # Pool construction / task pickling failures: anything that escaped
+        # both the in-worker marshalling and the per-future capture.
+        raise FleetError(f"parallel fleet execution failed: {exc}") from exc
+    results: dict[str, MonitorResult] = {}
+    outcomes: dict[str, ShardOutcome] = {}
+    first_failure: ShardOutcome | None = None
+    for label in labels:
+        worker_outcome = final[label]
+        if worker_outcome.error is not None:
+            outcomes[label] = ShardOutcome(
+                label, "failed", attempts[label], error=worker_outcome.error
+            )
+            if first_failure is None:
+                first_failure = outcomes[label]
+            _LOGGER.error(
+                "shard %r failed after %d attempt(s): %s",
+                label,
+                attempts[label],
+                worker_outcome.error,
+            )
+            continue
+        outcomes[label] = ShardOutcome(label, "ok", attempts[label])
+        results[label] = MonitorResult(
+            decisions=worker_outcome.decisions,
+            report=worker_outcome.report,
             model=model,
-            recorded_indices=outcomes[label].recorded_indices,
+            recorded_indices=worker_outcome.recorded_indices,
             reference_window_count=0,
-            detector_stats=outcomes[label].detector_stats,
+            detector_stats=worker_outcome.detector_stats,
         )
-        for label in labels
-    }
+    if (
+        first_failure is not None
+        and monitor_config.shard_failure_policy == "abort"
+    ):
+        raise FleetError(
+            f"shard {first_failure.label!r} failed in a worker process: "
+            f"{first_failure.error}"
+        )
+    return results, outcomes, tuple(diagnostics)

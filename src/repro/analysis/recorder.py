@@ -24,12 +24,14 @@ reduction factor is measured against.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Deque, Iterable, Sequence
 
 from ..errors import RecorderError
+from ..testing.faults import fault_point
 from ..trace.codec import BinaryTraceCodec, JsonTraceCodec, encoded_trace_size
 from ..trace.window import TraceWindow
 
@@ -38,11 +40,23 @@ __all__ = [
     "RecorderReport",
     "SelectiveTraceRecorder",
     "FullTraceRecorder",
+    "partial_output_path",
 ]
 
 #: Default size of the recorder's write buffer.  64 KiB keeps the flush
 #: granularity close to a filesystem block while bounding buffered memory.
 DEFAULT_IO_BUFFER_BYTES = 64 * 1024
+
+
+def partial_output_path(path: Path) -> Path:
+    """In-progress sibling of a recorder output path (``<name>.partial``).
+
+    Recorders write here and atomically rename onto ``path`` only when
+    :meth:`SelectiveTraceRecorder.close` completes — so a crashed writer
+    can never leave a truncated file under the final name.  Exposed so the
+    fleet can clean up after hard-killed workers.
+    """
+    return path.with_name(path.name + ".partial")
 
 
 @dataclass(frozen=True)
@@ -160,12 +174,17 @@ class SelectiveTraceRecorder:
         self.output_path = Path(output_path) if output_path is not None else None
         self._codec = JsonTraceCodec()
         self._handle = None
+        # Crash consistency: write to a ".partial" sibling and atomically
+        # rename onto output_path only when close() completes, so a killed
+        # process can never leave a truncated file under the final name.
+        self._temp_path: Path | None = None
         if self.output_path is not None:
             self.output_path.parent.mkdir(parents=True, exist_ok=True)
+            self._temp_path = partial_output_path(self.output_path)
             if recording_format == "binary":
-                self._handle = self.output_path.open("wb")
+                self._handle = self._temp_path.open("wb")
             else:
-                self._handle = self.output_path.open("w", encoding="utf-8")
+                self._handle = self._temp_path.open("w", encoding="utf-8")
 
         # Pre-context windows are buffered together with their encoded size,
         # so flushing them on an anomaly never re-encodes a window whose
@@ -302,6 +321,7 @@ class SelectiveTraceRecorder:
     def flush(self) -> None:
         """Write the buffered encoded windows to the output file."""
         if self._handle is not None and self._write_buffer:
+            fault_point("recorder.write")
             joiner = b"" if self.recording_format == "binary" else ""
             self._handle.write(joiner.join(self._write_buffer))
             self._n_io_writes += 1
@@ -358,6 +378,10 @@ class SelectiveTraceRecorder:
 
         The OS handle is released and the recorder marked closed even when
         the final flush fails mid-write; the flush error still propagates.
+        Only a fully successful close commits the temp file onto
+        ``output_path`` (atomic rename); after a failed close the
+        ``.partial`` file is left behind for :meth:`discard` / the fleet's
+        cleanup to remove, and the final name never appears.
         """
         handle = self._handle
         if handle is not None:
@@ -367,7 +391,30 @@ class SelectiveTraceRecorder:
                 self._handle = None
                 self._closed = True
                 handle.close()
+            # Reached only when flush and the OS-level close both
+            # succeeded: commit the finished file under its real name.
+            if self._temp_path is not None and self.output_path is not None:
+                os.replace(self._temp_path, self.output_path)
+                self._temp_path = None
         self._closed = True
+
+    def discard(self) -> None:
+        """Close without committing: drop buffers, delete the temp file.
+
+        Used when the shard this recorder serves failed — the output must
+        not appear under its final name, and no half-written ``.partial``
+        should linger.  Idempotent; never raises on a missing temp file.
+        """
+        handle = self._handle
+        self._handle = None
+        self._closed = True
+        self._write_buffer = []
+        self._buffered_chars = 0
+        if handle is not None:
+            handle.close()
+        if self._temp_path is not None:
+            self._temp_path.unlink(missing_ok=True)
+            self._temp_path = None
 
     def __enter__(self) -> "SelectiveTraceRecorder":
         return self

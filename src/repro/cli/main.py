@@ -21,8 +21,16 @@ still being appended (streaming columnar ingest, bounded memory) and stops
 once the file has been idle for ``--idle-timeout`` seconds; the results are
 bit-identical to a one-shot run over the final file.
 
+``fleet --failure-policy isolate`` keeps healthy shards running when a
+sibling fails (optionally retrying failures with ``--shard-retries`` /
+``--retry-backoff``); ``monitor --follow --on-corrupt skip`` quarantines
+mangled records in the tailed stream instead of aborting.
+
 Every subcommand prints a plain-text report on stdout; ``--json`` switches to
-machine-readable JSON output.
+machine-readable JSON output.  Exit codes: ``0`` for a clean run, ``2`` for
+an error, ``3`` for a *degraded* run — the command completed and produced
+output, but some shards failed under ``--failure-policy isolate`` or corrupt
+records were skipped under ``--on-corrupt skip``.
 """
 
 from __future__ import annotations
@@ -182,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: follow forever, like tail -f)",
     )
     monitor.add_argument(
+        "--on-corrupt",
+        choices=["raise", "skip"],
+        default="raise",
+        help="with --follow: fail the stream on the first corrupt record "
+        "(default) or skip damaged regions, count them, and exit 3 when any "
+        "were skipped",
+    )
+    monitor.add_argument(
         "--recording-format",
         choices=["jsonl", "binary"],
         default="jsonl",
@@ -234,6 +250,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="feed window-iterable shards to parallel workers in bounded "
         "chunks of this many windows instead of materialising whole shards",
+    )
+    fleet.add_argument(
+        "--failure-policy",
+        choices=["abort", "isolate"],
+        default="abort",
+        help="what a shard failure does to the fleet: abort the whole run "
+        "(default) or quarantine the failing shard while its siblings "
+        "complete (the run then exits 3 and the manifest marks the failure)",
+    )
+    fleet.add_argument(
+        "--shard-retries",
+        type=_non_negative_int,
+        default=0,
+        help="resubmit a failed shard up to this many times before its "
+        "failure counts (retried results are bit-identical to fault-free)",
+    )
+    fleet.add_argument(
+        "--retry-backoff",
+        type=_non_negative_float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base delay before a shard retry, scaled by the attempt number",
     )
     fleet.add_argument(
         "--ingest",
@@ -392,6 +430,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     model = ReferenceModel.load(args.model) if args.model else None
     if model is not None and args.knn_backend is not None:
         model.reindex(args.knn_backend)
+    if args.on_corrupt != "raise" and not args.follow:
+        raise ConfigurationError(
+            "--on-corrupt applies to streaming ingest only (add --follow)"
+        )
     if args.follow:
         if args.ingest != "columnar":
             raise ConfigurationError(
@@ -405,6 +447,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             prefetch_batches=args.prefetch,
             poll_interval_s=args.poll_interval,
             idle_timeout_s=args.idle_timeout,
+            on_corrupt=args.on_corrupt,
         )
     elif args.ingest == "columnar":
         # Default path: file bytes -> flat arrays -> lazy WindowBatches,
@@ -428,14 +471,23 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "total_bytes": report.total_bytes,
         "reduction_factor": report.reduction_factor,
     }
-    _emit(
-        args,
+    text = (
         f"monitored {result.n_windows} windows: {result.n_anomalous} anomalous, "
         f"{report.recorded_bytes}/{report.total_bytes} bytes recorded "
-        f"({report.reduction_factor:.1f}x reduction)",
-        payload,
+        f"({report.reduction_factor:.1f}x reduction)"
     )
-    return 0
+    corrupt = (
+        result.stream_stats.corrupt_records
+        if result.stream_stats is not None
+        else 0
+    )
+    if corrupt:
+        assert result.stream_stats is not None
+        payload["corrupt_records"] = corrupt
+        payload["corrupt_offsets"] = list(result.stream_stats.corrupt_offsets)
+        text += f"\ndegraded: {corrupt} corrupt record region(s) skipped"
+    _emit(args, text, payload)
+    return 3 if corrupt else 0
 
 
 def _shard_labels(paths: list[Path]) -> list[str]:
@@ -465,6 +517,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         knn_backend=args.knn_backend or "auto",
         stream_queue_depth=args.queue_depth,
         shard_chunk_windows=args.chunk_windows,
+        shard_failure_policy=args.failure_policy,
+        shard_retries=args.shard_retries,
+        shard_retry_backoff_s=args.retry_backoff,
     )
     registry = EventTypeRegistry.with_default_types()
     labels = _shard_labels(args.traces)
@@ -535,14 +590,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{shard.report.recorded_bytes}/{shard.report.total_bytes} bytes recorded"
         for label, shard in result.shard_results.items()
     ]
+    for label in result.failed_labels:
+        outcome = result.outcomes[label]
+        lines.append(
+            f"{label}: FAILED after {outcome.attempts} attempt(s): "
+            f"{outcome.error}"
+        )
     lines.append(
         f"fleet: {result.n_shards} shards, {result.n_windows} windows, "
         f"{result.n_anomalous} anomalous, "
         f"{report.recorded_bytes}/{report.total_bytes} bytes recorded "
         f"({report.reduction_factor:.1f}x reduction)"
     )
+    if result.degraded:
+        lines.append(
+            f"degraded: {result.n_failed} shard(s) quarantined "
+            f"(see manifest.json in --output-dir)"
+        )
     _emit(args, "\n".join(lines), result.to_dict())
-    return 0
+    return 3 if result.degraded else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

@@ -155,6 +155,26 @@ class MonitorConfig:
         materialising the full shard list up front (streaming shards are
         always fed chunked).  ``None`` (default) keeps the historical
         fully-materialised hand-off for list/iterator shards.
+    shard_failure_policy:
+        What the sharded fleet does when one shard fails.  ``"abort"``
+        (default, the historical behaviour) tears the whole run down and
+        re-raises the shard's error as a :class:`~repro.errors.FleetError`.
+        ``"isolate"`` quarantines the failing shard — its partial output
+        file is discarded, its failure is reported as a
+        :class:`~repro.analysis.fleet.ShardOutcome` on the
+        :class:`~repro.analysis.fleet.FleetResult` — while sibling shards
+        run to completion with bit-identical results.
+    shard_retries:
+        Number of times a failed shard is re-run from scratch before it is
+        quarantined (``"isolate"``) or aborts the fleet (``"abort"``).  Only
+        shards whose window source can be replayed (materialised sequences
+        and columnar sources) are retried; one-shot iterators and live
+        streams fail terminally on their first error.  ``0`` (default)
+        disables retry.
+    shard_retry_backoff_s:
+        Delay in seconds before each retry attempt, scaled linearly by the
+        attempt number (attempt ``n`` sleeps ``n * shard_retry_backoff_s``).
+        ``0.0`` (default) retries immediately.
     """
 
     window_duration_us: int = 40_000
@@ -169,6 +189,9 @@ class MonitorConfig:
     knn_backend: str = "auto"
     stream_queue_depth: int = 8
     shard_chunk_windows: int | None = None
+    shard_failure_policy: str = "abort"
+    shard_retries: int = 0
+    shard_retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         _require(self.window_duration_us > 0, "window_duration_us must be > 0")
@@ -199,6 +222,14 @@ class MonitorConfig:
         _require(
             self.shard_chunk_windows is None or self.shard_chunk_windows >= 1,
             "shard_chunk_windows must be None or >= 1",
+        )
+        _require(
+            self.shard_failure_policy in {"abort", "isolate"},
+            "shard_failure_policy must be 'abort' or 'isolate'",
+        )
+        _require(self.shard_retries >= 0, "shard_retries must be >= 0")
+        _require(
+            self.shard_retry_backoff_s >= 0.0, "shard_retry_backoff_s must be >= 0"
         )
 
 

@@ -4,11 +4,13 @@ The package layers, leaf-ward to root-ward::
 
     errors, version, logging_util          (leaves: import nothing of ours)
     config                                  -> errors
-    trace                                   -> errors, config, logging_util
+    testing                                 -> errors  (fault-injection hooks)
+    trace                                   -> errors, config, logging_util,
+                                               testing
     platform                                -> + trace
     media                                   -> + platform
     analysis                                -> errors, config, trace,
-                                               media, logging_util
+                                               media, logging_util, testing
     experiments                             -> everything below cli
     devtools                                -> errors only
     cli                                     -> everything (except devtools)
@@ -35,10 +37,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "version": frozenset(),
     "logging_util": frozenset(),
     "config": frozenset({"errors"}),
-    "trace": frozenset({"errors", "config", "logging_util"}),
+    "testing": frozenset({"errors"}),
+    "trace": frozenset({"errors", "config", "logging_util", "testing"}),
     "platform": frozenset({"errors", "config", "logging_util", "trace"}),
     "media": frozenset({"errors", "config", "logging_util", "trace", "platform"}),
-    "analysis": frozenset({"errors", "config", "logging_util", "trace", "media"}),
+    "analysis": frozenset(
+        {"errors", "config", "logging_util", "trace", "media", "testing"}
+    ),
     "experiments": frozenset(
         {"errors", "config", "logging_util", "trace", "platform", "media", "analysis"}
     ),
@@ -54,6 +59,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "media",
             "analysis",
             "experiments",
+            "testing",
         }
     ),
 }

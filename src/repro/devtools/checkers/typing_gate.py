@@ -18,7 +18,13 @@ from ..source import ModuleSource
 from .base import Checker, Rule, walk_functions
 
 #: Layers under the strict-typing gate (mirrors [tool.mypy] in pyproject).
-STRICT_LAYERS = ("repro.trace", "repro.analysis", "repro.errors", "repro.config")
+STRICT_LAYERS = (
+    "repro.trace",
+    "repro.analysis",
+    "repro.errors",
+    "repro.config",
+    "repro.testing",
+)
 
 
 def _in_strict_layer(module: str) -> bool:

@@ -54,3 +54,12 @@ class FleetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """A deterministic fault-injection plan is malformed or misused.
+
+    Raised by :mod:`repro.testing.faults` when a plan cannot be parsed —
+    never by injected faults themselves, which raise the exception type the
+    plan schedules (so production code cannot special-case injected faults).
+    """

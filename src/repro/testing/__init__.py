@@ -1,0 +1,20 @@
+"""Test-only instrumentation shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the chaos suite: production code calls its near-zero-cost hook
+points, and tests schedule crashes/corruption through them via an
+environment-carried plan so worker processes (fork *and* spawn) inherit
+the schedule.
+"""
+
+from __future__ import annotations
+
+from .faults import FaultSpec, InjectedFault, corrupt_chunk, fault_point, inject
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_chunk",
+    "fault_point",
+    "inject",
+]

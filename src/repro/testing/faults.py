@@ -1,0 +1,319 @@
+"""Deterministic fault injection for the chaos-test suite.
+
+The fleet's fault-tolerance guarantees (shard isolation, retry
+equivalence, crash-consistent output) are only trustworthy if they can be
+*demonstrated* against real failures, repeatably.  This module provides
+the machinery:
+
+* Production code marks its failure-prone spots with
+  :func:`fault_point` (raise/exit-style faults) or :func:`corrupt_chunk`
+  (byte-stream mangling).  With no plan armed both are a single
+  ``os.environ`` lookup — cheap enough for per-batch call sites.
+* Tests arm a plan of :class:`FaultSpec` records with :func:`inject`.
+  The plan travels in the ``REPRO_FAULT_PLAN`` environment variable so
+  worker processes inherit it under both ``fork`` and ``spawn`` start
+  methods.
+* Determinism: a spec fires on exact ``(site, shard, attempt)``
+  coordinates plus a hit counter (``after``/``count``), never on timing
+  or randomness.  Retried shards carry their attempt number into the
+  hooks via :func:`shard_scope`, so "fail attempt 1, succeed attempt 2"
+  is expressible even when the retry lands on a different worker
+  process.
+
+Known sites wired into the library:
+
+``worker.boot``
+    Parallel-fleet worker initializer (fires in every new process).
+``shard.start``
+    A shard pipeline is about to be built (serial and worker backends).
+``shard.batch``
+    Before each scored batch of a shard (``after=N`` fires mid-stream).
+``recorder.write``
+    Inside the selective recorder's buffered write path (pair with
+    ``action="oserror"`` for an ENOSPC-style disk failure).
+``stream.chunk``
+    Raw chunk entering the streaming decoder (``action="garble"`` /
+    ``"truncate"`` via :func:`corrupt_chunk`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..errors import FaultInjectionError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_chunk",
+    "decode_plan",
+    "encode_plan",
+    "fault_point",
+    "inject",
+    "reset",
+    "shard_scope",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit status used by ``action="exit"`` so tests (and post-mortems) can
+#: tell an injected hard kill from an organic crash.
+EXIT_STATUS = 70
+
+_RAISE_ACTIONS = frozenset({"raise", "oserror", "exit"})
+_CHUNK_ACTIONS = frozenset({"garble", "truncate"})
+_ACTIONS = _RAISE_ACTIONS | _CHUNK_ACTIONS
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``action="raise"`` fault points.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: production
+    code must treat it like any unexpected runtime failure, so the chaos
+    suite exercises the same handling paths organic bugs would hit.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    site:
+        Name of the fault point to fire at (see module docstring).
+    action:
+        ``"raise"`` (:class:`InjectedFault`), ``"oserror"`` (ENOSPC-style
+        :class:`OSError`), ``"exit"`` (hard ``os._exit`` — no cleanup, no
+        flush), ``"garble"`` (overwrite bytes mid-chunk) or
+        ``"truncate"`` (drop the tail of a chunk).  The last two only
+        fire at :func:`corrupt_chunk` sites.
+    shard:
+        Shard label the spec applies to; ``None`` matches every shard.
+    attempts:
+        Attempt numbers (1-based) the spec fires on.  The default
+        ``(1,)`` models a transient fault: the first attempt fails, a
+        retry runs clean.  Use ``(1, 2, ...)`` for a persistent fault.
+    after:
+        Number of matching hits to let pass before firing (e.g. crash
+        after the third batch).
+    count:
+        Maximum number of firings per ``(shard, attempt)`` coordinate.
+    """
+
+    site: str
+    action: str = "raise"
+    shard: str | None = None
+    attempts: tuple[int, ...] = (1,)
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise FaultInjectionError("fault site must be a non-empty string")
+        if self.action not in _ACTIONS:
+            raise FaultInjectionError(
+                f"unknown fault action {self.action!r}; expected one of "
+                f"{sorted(_ACTIONS)}"
+            )
+        # JSON round-trips tuples as lists; normalise so == works.
+        object.__setattr__(self, "attempts", tuple(self.attempts))
+        if not self.attempts or any(a < 1 for a in self.attempts):
+            raise FaultInjectionError("attempts must be a non-empty tuple of >= 1")
+        if self.after < 0:
+            raise FaultInjectionError("after must be >= 0")
+        if self.count < 1:
+            raise FaultInjectionError("count must be >= 1")
+
+
+def encode_plan(specs: tuple[FaultSpec, ...] | list[FaultSpec]) -> str:
+    """Serialise a plan for the :data:`ENV_VAR` environment variable."""
+    payload = [
+        {
+            "site": s.site,
+            "action": s.action,
+            "shard": s.shard,
+            "attempts": list(s.attempts),
+            "after": s.after,
+            "count": s.count,
+        }
+        for s in specs
+    ]
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def decode_plan(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a plan previously produced by :func:`encode_plan`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultInjectionError(f"unparseable fault plan: {exc}") from exc
+    if not isinstance(payload, list):
+        raise FaultInjectionError("fault plan must be a JSON list of specs")
+    specs = []
+    for entry in payload:
+        if not isinstance(entry, Mapping):
+            raise FaultInjectionError(f"fault spec must be an object: {entry!r}")
+        try:
+            specs.append(FaultSpec(**entry))
+        except TypeError as exc:
+            raise FaultInjectionError(f"malformed fault spec {entry!r}: {exc}") from exc
+    return tuple(specs)
+
+
+@dataclass
+class _HarnessState:
+    """Per-process plan cache and firing counters."""
+
+    raw: str | None = None
+    plan: tuple[FaultSpec, ...] = ()
+    # (spec index, shard label, attempt) -> calls seen / faults fired.
+    hits: dict[tuple[int, str | None, int], int] = field(default_factory=dict)
+    fired: dict[tuple[int, str | None, int], int] = field(default_factory=dict)
+    # Ambient (label, attempt) installed by shard_scope().
+    context: tuple[str | None, int] = (None, 1)
+
+
+# Deliberately per-process: worker processes re-derive the plan from the
+# environment variable and keep their own hit counters.
+_STATE = _HarnessState()  # repro: fork-shared
+
+
+def reset() -> None:
+    """Forget the cached plan and all firing counters (tests only)."""
+    global _STATE
+    _STATE = _HarnessState()
+
+
+def _active_plan() -> tuple[FaultSpec, ...]:
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return ()
+    if raw != _STATE.raw:
+        _STATE.raw = raw
+        _STATE.plan = decode_plan(raw)
+        _STATE.hits.clear()
+        _STATE.fired.clear()
+    return _STATE.plan
+
+
+@contextlib.contextmanager
+def shard_scope(label: str | None, attempt: int) -> Iterator[None]:
+    """Install the ambient shard coordinates for nested fault points.
+
+    Hooks buried in layers that do not know which shard they serve (the
+    recorder's write path, the streaming decoder) resolve their label and
+    attempt from this scope, keeping retry determinism independent of
+    which worker process the attempt lands on.
+    """
+    previous = _STATE.context
+    _STATE.context = (label, attempt)
+    try:
+        yield
+    finally:
+        _STATE.context = previous
+
+
+def _matching_spec(
+    site: str, label: str | None, attempt: int, actions: frozenset[str]
+) -> FaultSpec | None:
+    """Return the first armed spec due to fire at these coordinates."""
+    for index, spec in enumerate(_active_plan()):
+        if spec.site != site or spec.action not in actions:
+            continue
+        if spec.shard is not None and spec.shard != label:
+            continue
+        if attempt not in spec.attempts:
+            continue
+        key = (index, label, attempt)
+        if _STATE.fired.get(key, 0) >= spec.count:
+            continue
+        seen = _STATE.hits.get(key, 0)
+        _STATE.hits[key] = seen + 1
+        if seen < spec.after:
+            continue
+        _STATE.fired[key] = _STATE.fired.get(key, 0) + 1
+        return spec
+    return None
+
+
+def _resolve(label: str | None, attempt: int | None) -> tuple[str | None, int]:
+    ambient_label, ambient_attempt = _STATE.context
+    return (
+        label if label is not None else ambient_label,
+        attempt if attempt is not None else ambient_attempt,
+    )
+
+
+def fault_point(
+    site: str, label: str | None = None, attempt: int | None = None
+) -> None:
+    """Fire any armed raise/exit-style fault scheduled for ``site``.
+
+    ``label``/``attempt`` default to the ambient :func:`shard_scope`
+    coordinates.  A no-op (one environment lookup) when no plan is armed.
+    """
+    if os.environ.get(ENV_VAR) is None:
+        return
+    label, attempt = _resolve(label, attempt)
+    spec = _matching_spec(site, label, attempt, _RAISE_ACTIONS)
+    if spec is None:
+        return
+    detail = f"at {site} (shard={label!r}, attempt={attempt})"
+    if spec.action == "raise":
+        raise InjectedFault(f"injected fault {detail}")
+    if spec.action == "oserror":
+        raise OSError(errno.ENOSPC, f"injected ENOSPC {detail}")
+    os._exit(EXIT_STATUS)  # action == "exit": hard kill, no cleanup runs.
+
+
+def corrupt_chunk(
+    site: str,
+    data: bytes,
+    label: str | None = None,
+    attempt: int | None = None,
+) -> bytes:
+    """Return ``data``, mangled if a garble/truncate fault is due here.
+
+    ``"garble"`` overwrites up to 8 bytes in the middle of the chunk with
+    ``0xFF`` (invalid UTF-8 continuation bytes, an invalid varint run in
+    the binary framing), ``"truncate"`` drops the second half.  Both are
+    deterministic functions of the chunk itself.
+    """
+    if os.environ.get(ENV_VAR) is None or not data:
+        return data
+    label, attempt = _resolve(label, attempt)
+    spec = _matching_spec(site, label, attempt, _CHUNK_ACTIONS)
+    if spec is None:
+        return data
+    if spec.action == "truncate":
+        return data[: max(1, len(data) // 2)]
+    middle = len(data) // 2
+    width = min(8, len(data) - middle)
+    return data[:middle] + b"\xff" * width + data[middle + width :]
+
+
+@contextlib.contextmanager
+def inject(*specs: FaultSpec) -> Iterator[None]:
+    """Arm a fault plan for the duration of a ``with`` block (tests only).
+
+    Sets :data:`ENV_VAR` (so child processes spawned inside the block
+    inherit the plan) and resets all counters on entry and exit.
+    """
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = encode_plan(list(specs))
+    reset()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        reset()

@@ -563,6 +563,13 @@ class BinaryColumnsDecoder:
     :meth:`finish` marks end-of-stream: ending mid-header or mid-record is
     then an error naming the absolute byte offset, exactly like a one-shot
     decode of the same truncated blob.
+
+    ``on_corrupt="skip"`` quarantines corruption instead of raising: on a
+    mangled header, over-long varint, unknown type code or truncated tail
+    the decoder abandons the damaged region and resynchronises at the next
+    segment magic, counting each region in :attr:`corrupt_records` and
+    recording its absolute byte offset in :attr:`corrupt_offsets`.  The
+    concatenation contract above then only covers the surviving records.
     """
 
     __slots__ = (
@@ -575,9 +582,16 @@ class BinaryColumnsDecoder:
         "_previous",
         "_saw_data",
         "_finished",
+        "_on_corrupt",
+        "_resyncing",
+        "_corrupt_offsets",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, on_corrupt: str = "raise") -> None:
+        if on_corrupt not in ("raise", "skip"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'skip', got {on_corrupt!r}"
+            )
         self._buffer = b""
         self._base = 0  # absolute stream offset of _buffer[0]
         self._names: list[str] = []
@@ -587,6 +601,9 @@ class BinaryColumnsDecoder:
         self._previous = 0  # previous absolute timestamp (segment-local)
         self._saw_data = False
         self._finished = False
+        self._on_corrupt = on_corrupt
+        self._resyncing = False  # inside a corrupt region, hunting for magic
+        self._corrupt_offsets: list[int] = []
 
     @property
     def resume_offset(self) -> int:
@@ -597,6 +614,16 @@ class BinaryColumnsDecoder:
     def type_names(self) -> tuple[str, ...]:
         """Global type table accumulated so far (first-appearance order)."""
         return tuple(self._names)
+
+    @property
+    def corrupt_records(self) -> int:
+        """Number of corrupt regions skipped (``on_corrupt="skip"`` only)."""
+        return len(self._corrupt_offsets)
+
+    @property
+    def corrupt_offsets(self) -> tuple[int, ...]:
+        """Absolute byte offset where each skipped corrupt region began."""
+        return tuple(self._corrupt_offsets)
 
     def feed(self, chunk: bytes) -> TraceColumns:
         """Consume ``chunk``; return columns for the records it completed."""
@@ -616,11 +643,14 @@ class BinaryColumnsDecoder:
             raise TraceFormatError("not a binary trace (empty stream)")
         columns = self._drain(final=True)
         if self._remaining:
-            raise TraceFormatError(
-                f"truncated binary trace: segment promises "
-                f"{self._remaining} more event record(s) at byte offset "
-                f"{self._base}"
-            )
+            if self._on_corrupt == "raise":
+                raise TraceFormatError(
+                    f"truncated binary trace: segment promises "
+                    f"{self._remaining} more event record(s) at byte offset "
+                    f"{self._base}"
+                )
+            # _drain(final=True) already recorded the corrupt tail region.
+            self._remaining = 0
         return columns
 
     def _drain(self, final: bool) -> TraceColumns:
@@ -633,31 +663,57 @@ class BinaryColumnsDecoder:
         static: list[int] = []
         records: list[int] = []
         while True:
+            if self._resyncing:
+                found = data.find(_MAGIC, pos)
+                if found != -1:
+                    pos = found
+                    self._resyncing = False
+                    continue
+                pos = size if final else self._magic_tail(data, pos)
+                break
             if self._remaining == 0:
                 if pos >= size:
                     break
-                header = self._try_header(data, pos, final)
+                try:
+                    header = self._try_header(data, pos, final)
+                except TraceFormatError:
+                    if self._on_corrupt == "raise":
+                        raise
+                    pos = self._quarantine(pos, size)
+                    continue
                 if header is None:
                     break
                 self._remap, self._remaining, pos = header
                 self._previous = 0
                 continue
-            parsed = _parse_record(data, pos)
+            try:
+                parsed = _parse_record(data, pos)
+            except TraceFormatError:
+                if self._on_corrupt == "raise":
+                    raise
+                pos = self._quarantine(pos, size)
+                continue
             if parsed is None:
-                if final:
+                if not final:
+                    break
+                if self._on_corrupt == "raise":
                     raise TraceFormatError(
                         f"truncated event record at byte offset "
                         f"{self._base + pos} (stream ends mid-record)"
                     )
-                break
+                pos = self._quarantine(pos, size)
+                continue
             delta, code, core, static_size, end = parsed
             remap = self._remap
             assert remap is not None
             if code >= len(remap):
-                raise TraceFormatError(
-                    f"unknown event-type code: {code} "
-                    f"at byte offset {self._base + pos}"
-                )
+                if self._on_corrupt == "raise":
+                    raise TraceFormatError(
+                        f"unknown event-type code: {code} "
+                        f"at byte offset {self._base + pos}"
+                    )
+                pos = self._quarantine(pos, size)
+                continue
             records.append(pos)
             self._previous += delta
             timestamps.append(self._previous)
@@ -721,6 +777,32 @@ class BinaryColumnsDecoder:
             remap[local] = code
         return remap, count, body
 
+    def _quarantine(self, pos: int, size: int) -> int:
+        """Record a corrupt region at ``pos`` and start hunting for magic.
+
+        Advances past the offending byte so the resynchronisation scan can
+        never re-match the region it just abandoned (a truncated header
+        starts with a perfectly valid magic).
+        """
+        self._corrupt_offsets.append(self._base + pos)
+        self._remaining = 0
+        self._resyncing = True
+        return min(pos + 1, size)
+
+    @staticmethod
+    def _magic_tail(data: bytes, pos: int) -> int:
+        """First index >= ``pos`` that could still start a magic at the tail.
+
+        While resynchronising, everything up to this index is discarded;
+        the (at most ``len(_MAGIC) - 1``) bytes after it are kept in the
+        buffer in case the next chunk completes a segment magic.
+        """
+        size = len(data)
+        for keep in range(min(len(_MAGIC) - 1, size - pos), 0, -1):
+            if data[size - keep :] == _MAGIC[:keep]:
+                return size - keep
+        return size
+
 
 class JsonColumnsDecoder:
     """Resumable, chunk-fed counterpart of :func:`decode_json_columns`.
@@ -736,6 +818,12 @@ class JsonColumnsDecoder:
 
     Chunks share one global type table (first-appearance order), matching
     the one-shot decode bit for bit when concatenated.
+
+    ``on_corrupt="skip"`` quarantines corruption instead of raising: a
+    malformed JSON line, malformed record or negative timestamp is dropped
+    (its 1-based line number lands in :attr:`corrupt_offsets`), and invalid
+    UTF-8 decodes to replacement characters — turning the damaged lines
+    into malformed-JSON skips rather than a fatal stream error.
     """
 
     __slots__ = (
@@ -746,16 +834,25 @@ class JsonColumnsDecoder:
         "_names",
         "_task_cache",
         "_finished",
+        "_on_corrupt",
+        "_corrupt_lines",
     )
 
-    def __init__(self) -> None:
-        self._utf8 = codecs.getincrementaldecoder("utf-8")()
+    def __init__(self, on_corrupt: str = "raise") -> None:
+        if on_corrupt not in ("raise", "skip"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'skip', got {on_corrupt!r}"
+            )
+        errors = "strict" if on_corrupt == "raise" else "replace"
+        self._utf8 = codecs.getincrementaldecoder("utf-8")(errors)
         self._pending = ""  # text after the last consumed newline
         self._lines_done = 0  # raw lines fully consumed so far
         self._name_codes: dict[str, int] = {}
         self._names: list[str] = []
         self._task_cache: dict[str, int] = {}
         self._finished = False
+        self._on_corrupt = on_corrupt
+        self._corrupt_lines: list[int] = []
 
     @property
     def resume_line(self) -> int:
@@ -766,6 +863,16 @@ class JsonColumnsDecoder:
     def type_names(self) -> tuple[str, ...]:
         """Global type table accumulated so far (first-appearance order)."""
         return tuple(self._names)
+
+    @property
+    def corrupt_records(self) -> int:
+        """Number of corrupt lines skipped (``on_corrupt="skip"`` only)."""
+        return len(self._corrupt_lines)
+
+    @property
+    def corrupt_offsets(self) -> tuple[int, ...]:
+        """1-based line number of each skipped corrupt line."""
+        return tuple(self._corrupt_lines)
 
     def feed(self, chunk: "bytes | str") -> TraceColumns:
         """Consume ``chunk``; return columns for the lines it completed."""
@@ -827,6 +934,9 @@ class JsonColumnsDecoder:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if self._on_corrupt == "skip":
+                    self._corrupt_lines.append(line_no)
+                    continue
                 raise TraceFormatError(
                     f"malformed JSON event line {line_no}: {line!r}"
                 ) from exc
@@ -837,10 +947,16 @@ class JsonColumnsDecoder:
                 task = str(record.get("task", ""))
                 args = dict(record.get("args", {}))
             except (KeyError, TypeError, ValueError) as exc:
+                if self._on_corrupt == "skip":
+                    self._corrupt_lines.append(line_no)
+                    continue
                 raise TraceFormatError(
                     f"malformed event record at line {line_no}: {record!r}"
                 ) from exc
             if timestamp < 0:
+                if self._on_corrupt == "skip":
+                    self._corrupt_lines.append(line_no)
+                    continue
                 raise TraceFormatError(
                     f"negative timestamp at line {line_no}: {timestamp}"
                 )

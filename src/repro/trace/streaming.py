@@ -41,6 +41,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import TraceFormatError, TraceStreamError
+from ..testing.faults import corrupt_chunk
 from .batch import WindowBatch
 from .codec import _MAGIC
 from .columns import (
@@ -200,6 +201,12 @@ class StreamRecipe:
     ``window_duration_us`` left at ``None`` defers to the monitor
     configuration at activation, mirroring
     :class:`~repro.trace.stream.ColumnarWindowSource`.
+
+    ``on_corrupt`` selects how the chunk decoders treat mangled records:
+    ``"raise"`` (default) fails the stream on the first corrupt byte,
+    ``"skip"`` quarantines the damaged region, resynchronises, and counts
+    the loss in :class:`StreamStats` (``corrupt_records`` /
+    ``corrupt_offsets``).
     """
 
     format: str = "auto"
@@ -208,6 +215,7 @@ class StreamRecipe:
     events_per_window: int = 256
     start_us: int = 0
     emit_empty: bool = True
+    on_corrupt: str = "raise"
 
     def __post_init__(self) -> None:
         if self.format not in {"auto", "binary", "jsonl"}:
@@ -216,6 +224,10 @@ class StreamRecipe:
             raise TraceStreamError("window_duration_us must be positive")
         if self.events_per_window <= 0:
             raise TraceStreamError("events_per_window must be positive")
+        if self.on_corrupt not in {"raise", "skip"}:
+            raise TraceStreamError(
+                f"on_corrupt must be 'raise' or 'skip', got {self.on_corrupt!r}"
+            )
 
 
 @dataclass
@@ -231,6 +243,11 @@ class StreamStats:
     #: window extent, not source size.
     peak_buffered_events: int = 0
     feed: HandoffStats | None = None
+    #: Corrupt regions skipped by the decoder (``on_corrupt="skip"`` only):
+    #: count, plus where each began — absolute byte offsets for binary
+    #: streams, 1-based line numbers for JSON-lines streams.
+    corrupt_records: int = 0
+    corrupt_offsets: "tuple[int, ...]" = ()
 
 
 class _StreamCodeMapper(_ColumnCodeMapper):
@@ -430,7 +447,7 @@ class StreamingWindowSource:
         for raw in byte_chunks:
             if not raw:
                 continue
-            data = bytes(raw)
+            data = corrupt_chunk("stream.chunk", bytes(raw))
             if decoder is None:
                 head += data
                 if fmt == "auto" and len(head) < 4:
@@ -438,6 +455,7 @@ class StreamingWindowSource:
                 decoder = self._make_decoder(head, fmt)
                 data, head = head, b""
             columns = decoder.feed(data)
+            self._note_corruption(decoder)
             if len(columns):
                 yield columns
         if decoder is None:
@@ -447,19 +465,31 @@ class StreamingWindowSource:
                 raise TraceFormatError("empty trace stream")
             decoder = self._make_decoder(head, fmt)
             columns = decoder.feed(head)
+            self._note_corruption(decoder)
             if len(columns):
                 yield columns
         tail = decoder.finish()
+        self._note_corruption(decoder)
         if len(tail):
             yield tail
 
-    @staticmethod
     def _make_decoder(
-        head: bytes, fmt: str
+        self, head: bytes, fmt: str
     ) -> "BinaryColumnsDecoder | JsonColumnsDecoder":
         if fmt == "auto":
             fmt = "binary" if _MAGIC.startswith(head[:4]) else "jsonl"
-        return BinaryColumnsDecoder() if fmt == "binary" else JsonColumnsDecoder()
+        on_corrupt = self.recipe.on_corrupt
+        if fmt == "binary":
+            return BinaryColumnsDecoder(on_corrupt=on_corrupt)
+        return JsonColumnsDecoder(on_corrupt=on_corrupt)
+
+    def _note_corruption(
+        self, decoder: "BinaryColumnsDecoder | JsonColumnsDecoder"
+    ) -> None:
+        """Mirror the decoder's corruption tally into the stream stats."""
+        if decoder.corrupt_records != self.stats.corrupt_records:
+            self.stats.corrupt_records = decoder.corrupt_records
+            self.stats.corrupt_offsets = decoder.corrupt_offsets
 
     def columns_chunks(self) -> Iterator[TraceColumns]:
         """The decoded chunk stream itself (single-pass; for shard feeders).
